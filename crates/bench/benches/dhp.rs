@@ -1,0 +1,43 @@
+//! Apriori vs DHP on the same workload: what the hash filter and the
+//! trimming buy in wall time.
+
+use armine_core::apriori::{Apriori, AprioriParams};
+use armine_core::dhp::{Dhp, DhpParams};
+use armine_datagen::QuestParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let dataset = QuestParams::paper_t15_i6()
+        .num_transactions(1500)
+        .num_items(300)
+        .num_patterns(120)
+        .seed(88)
+        .generate();
+    let mut group = c.benchmark_group("dhp_vs_apriori");
+    group.bench_function("apriori_1500tx", |b| {
+        let miner = Apriori::new(AprioriParams::with_min_support(0.01).max_k(3));
+        b.iter(|| miner.mine(std::hint::black_box(dataset.transactions())));
+    });
+    group.bench_function("dhp_1500tx", |b| {
+        let miner = Dhp::new(DhpParams::with_min_support(0.01).buckets(1 << 15).max_k(3));
+        b.iter(|| miner.mine(std::hint::black_box(dataset.transactions())));
+    });
+    group.bench_function("dhp_no_trim_1500tx", |b| {
+        let miner = Dhp::new(
+            DhpParams::with_min_support(0.01)
+                .buckets(1 << 15)
+                .trim(false)
+                .max_k(3),
+        );
+        b.iter(|| miner.mine(std::hint::black_box(dataset.transactions())));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbenchmarks of the serial Apriori pipeline: full mining runs at two
+//! support levels plus `apriori_gen` in isolation.
+
+use armine_core::apriori::{apriori_gen, Apriori, AprioriParams};
+use armine_core::ItemSet;
+use armine_datagen::QuestParams;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn bench_mining(c: &mut Criterion) {
+    let dataset = QuestParams::paper_t15_i6()
+        .num_transactions(1000)
+        .num_items(200)
+        .num_patterns(80)
+        .seed(42)
+        .generate();
+    let mut group = c.benchmark_group("serial_apriori");
+    for support in [0.02f64, 0.01] {
+        group.bench_function(format!("mine_T15_I6_1k_sup{support}"), |b| {
+            let miner = Apriori::new(AprioriParams::with_min_support(support).max_k(4));
+            b.iter(|| miner.mine(std::hint::black_box(dataset.transactions())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_apriori_gen(c: &mut Criterion) {
+    // A dense F_2 over 120 items.
+    let mut f2: Vec<ItemSet> = Vec::new();
+    for a in 0u32..120 {
+        for b in (a + 1)..120 {
+            if (a * 31 + b * 17) % 3 != 0 {
+                f2.push(ItemSet::from([a, b]));
+            }
+        }
+    }
+    f2.sort();
+    c.bench_function("apriori_gen_dense_F2", |b| {
+        b.iter_batched(
+            || f2.clone(),
+            |prev| apriori_gen(std::hint::black_box(&prev)),
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    targets = bench_mining, bench_apriori_gen
+}
+criterion_main!(benches);

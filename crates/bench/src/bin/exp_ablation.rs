@@ -1,0 +1,8 @@
+//! Design-choice ablations: hash-tree leaf capacity, ring-pipeline page
+//! size, and interconnect topology.
+use armine_bench::experiments::{ablation, emit};
+fn main() {
+    emit(&ablation::run_tree_shape(), "ablation_tree_shape");
+    emit(&ablation::run_page_size(), "ablation_page_size");
+    emit(&ablation::run_topology(), "ablation_topology");
+}

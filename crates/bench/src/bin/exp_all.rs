@@ -1,0 +1,32 @@
+//! Runs every experiment in sequence — the full reproduction of the
+//! paper's evaluation section. Expect several minutes of (virtual-time)
+//! simulation.
+use armine_bench::experiments::*;
+fn main() {
+    let t = std::time::Instant::now();
+    emit(&model::run(), "model_vij");
+    emit(&table2::run(), "table2");
+    emit(&imbalance::run(&imbalance::default_procs()), "imbalance");
+    emit(&hpa_comm::run(), "hpa_comm");
+    emit(&pdm_prune::run(), "pdm_prune");
+    emit(&breakdown::run(&breakdown::default_procs()), "breakdown");
+    emit(&ablation::run_tree_shape(), "ablation_tree_shape");
+    emit(&ablation::run_page_size(), "ablation_page_size");
+    emit(&ablation::run_topology(), "ablation_topology");
+    emit(&fig11::run(&fig11::default_procs()), "fig11_leaf_visits");
+    emit(
+        &fig12::run(&fig12::default_supports()),
+        "fig12_sp2_candidates",
+    );
+    emit(&fig13::run(&fig13::default_procs()), "fig13_speedup");
+    emit(
+        &fig14::run(&fig14::default_transactions()),
+        "fig14_transactions",
+    );
+    emit(&fig15::run(&fig15::default_supports()), "fig15_candidates");
+    emit(&fig10::run(&fig10::default_procs()), "fig10_scaleup");
+    println!(
+        "\nall experiments done in {:.0}s",
+        t.elapsed().as_secs_f64()
+    );
+}

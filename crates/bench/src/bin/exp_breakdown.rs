@@ -1,0 +1,7 @@
+//! Reproduces the Section V overhead-fraction quotes (Figure 13's
+//! discussion): CD's tree-build and reduction shares, IDD's imbalance and
+//! data-movement shares, as P grows.
+use armine_bench::experiments::{breakdown, emit};
+fn main() {
+    emit(&breakdown::run(&breakdown::default_procs()), "breakdown");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 10: scaleup of CD/IDD/HD/DD/DD+comm.
+use armine_bench::experiments::{emit, fig10};
+fn main() {
+    let procs: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("processor counts"))
+        .collect();
+    let procs = if procs.is_empty() {
+        fig10::default_procs()
+    } else {
+        procs
+    };
+    emit(&fig10::run(&procs), "fig10_scaleup");
+}

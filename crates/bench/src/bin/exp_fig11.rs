@@ -1,0 +1,14 @@
+//! Regenerates Figure 11: distinct leaf visits per transaction, DD vs IDD.
+use armine_bench::experiments::{emit, fig11};
+fn main() {
+    let procs: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("processor counts"))
+        .collect();
+    let procs = if procs.is_empty() {
+        fig11::default_procs()
+    } else {
+        procs
+    };
+    emit(&fig11::run(&procs), "fig11_leaf_visits");
+}

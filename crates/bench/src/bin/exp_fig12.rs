@@ -1,0 +1,8 @@
+//! Regenerates Figure 12: SP2 response time vs candidate count.
+use armine_bench::experiments::{emit, fig12};
+fn main() {
+    emit(
+        &fig12::run(&fig12::default_supports()),
+        "fig12_sp2_candidates",
+    );
+}

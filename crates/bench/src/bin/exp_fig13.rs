@@ -1,0 +1,14 @@
+//! Regenerates Figure 13: speedup of pass 3 for CD/IDD/HD.
+use armine_bench::experiments::{emit, fig13};
+fn main() {
+    let procs: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("processor counts"))
+        .collect();
+    let procs = if procs.is_empty() {
+        fig13::default_procs()
+    } else {
+        procs
+    };
+    emit(&fig13::run(&procs), "fig13_speedup");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 14: response time vs transaction count.
+use armine_bench::experiments::{emit, fig14};
+fn main() {
+    emit(
+        &fig14::run(&fig14::default_transactions()),
+        "fig14_transactions",
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 15: response time vs candidate count on the T3E.
+use armine_bench::experiments::{emit, fig15};
+fn main() {
+    emit(&fig15::run(&fig15::default_supports()), "fig15_candidates");
+}

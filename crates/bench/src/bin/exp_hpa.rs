@@ -1,0 +1,6 @@
+//! Measures Section III-E's communication-volume claim: IDD vs HPA
+//! (and HPA-ELD) as the pass horizon k grows.
+use armine_bench::experiments::{emit, hpa_comm};
+fn main() {
+    emit(&hpa_comm::run(), "hpa_comm");
+}

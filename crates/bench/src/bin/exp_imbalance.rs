@@ -1,0 +1,6 @@
+//! Reproduces the Section III-C load-balance quote: candidate imbalance vs
+//! computation-time imbalance in IDD.
+use armine_bench::experiments::{emit, imbalance};
+fn main() {
+    emit(&imbalance::run(&imbalance::default_procs()), "imbalance");
+}

@@ -1,0 +1,11 @@
+//! Validates Equation 1's V(i,j) model: closed form vs Monte-Carlo vs a
+//! real hash tree's measured counters.
+use armine_bench::experiments::{emit, model};
+fn main() {
+    emit(&model::run(), "model_vij");
+    let (measured, predicted) = model::measured_vs_predicted(7);
+    println!(
+        "\nReal hash tree: measured {measured:.2} distinct leaves/transaction, model predicts {predicted:.2} ({:+.1}%)",
+        (measured / predicted - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,5 @@
+//! PDM's DHP-style candidate pruning vs CD (related work, §III-E).
+use armine_bench::experiments::{emit, pdm_prune};
+fn main() {
+    emit(&pdm_prune::run(), "pdm_prune");
+}

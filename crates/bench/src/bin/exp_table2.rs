@@ -1,0 +1,4 @@
+//! Regenerates Table II: HD's per-pass grid configuration.
+fn main() {
+    armine_bench::experiments::emit(&armine_bench::experiments::table2::run(), "table2");
+}

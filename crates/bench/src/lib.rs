@@ -1,0 +1,15 @@
+//! # armine-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper
+//! (`exp_table2`, `exp_fig10` … `exp_fig15`, `exp_model`, `exp_imbalance`),
+//! plus Criterion benches. Each binary prints the same series the paper
+//! plots and drops a CSV under `experiments/` for plotting.
+//!
+//! Experiments run at 1:100 of the paper's scale (the virtual-time
+//! simulator preserves the N/P, M/P and C/L ratios that determine curve
+//! shapes; see DESIGN.md §1). Paper-vs-measured comparisons are recorded
+//! in EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;

@@ -1,0 +1,575 @@
+//! The `gen`, `mine`, `parallel`, and `model` subcommands.
+
+use crate::args::{ArgError, Args};
+use armine_core::apriori::{Apriori, AprioriParams, MinSupport};
+use armine_core::io::{read_transactions_auto, write_transactions_binary, write_transactions_file};
+use armine_core::model::{
+    cd_time, dd_time, hd_beats_cd_window, hd_time, idd_time, serial_time, CostParams, Workload,
+};
+use armine_core::rules::generate_rules;
+use armine_core::stats::dataset_stats;
+use armine_core::summaries::{closed_itemsets, maximal_itemsets};
+use armine_datagen::QuestParams;
+use armine_mpsim::MachineProfile;
+use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
+use std::io::Write;
+
+type Out<'a> = &'a mut dyn Write;
+
+/// Usage text printed by `armine help`.
+pub const USAGE: &str = "\
+armine — scalable parallel association-rule mining (Han/Karypis/Kumar, SIGMOD'97)
+
+USAGE:
+  armine gen      --out FILE --transactions N [--items N] [--patterns N]
+                  [--avg-len T] [--pattern-len I] [--seed S] [--format text|binary]
+  armine mine     --input FILE --min-support FRAC [--min-count N]
+                  [--max-k K] [--rules MIN_CONF] [--top N]
+  armine parallel --input FILE --algorithm ALGO --procs P --min-support FRAC
+                  [--machine t3e|sp2|ideal] [--group-threshold M]
+                  [--page-size N] [--memory-capacity N] [--max-k K]
+                  [--eld-permille N] [--buckets B] [--filter-passes N]
+  armine model    --n N --m M --c C --s S --procs P [--g G] [--machine t3e|sp2]
+  armine stats    --input FILE [--top N]
+  armine summary  --input FILE --min-support FRAC [--max-k K] [--kind maximal|closed]
+  armine help
+
+ALGO: cd | npa | dd | dd-comm | idd | idd-1src | hd | hpa | pdm
+";
+
+/// Parses the subcommand and runs it.
+pub fn dispatch(argv: &[String], out: Out) -> Result<(), Box<dyn std::error::Error>> {
+    let (cmd, rest) = argv
+        .split_first()
+        .ok_or_else(|| ArgError("no subcommand given".into()))?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&Args::parse(rest)?, out),
+        "mine" => cmd_mine(&Args::parse(rest)?, out),
+        "parallel" => cmd_parallel(&Args::parse(rest)?, out),
+        "model" => cmd_model(&Args::parse(rest)?, out),
+        "stats" => cmd_stats(&Args::parse(rest)?, out),
+        "summary" => cmd_summary(&Args::parse(rest)?, out),
+        "help" | "--help" | "-h" => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown subcommand {other:?}")).into()),
+    }
+}
+
+fn cmd_gen(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>> {
+    let path: String = args.required("out")?;
+    let params = QuestParams::paper_t15_i6()
+        .num_transactions(args.required("transactions")?)
+        .num_items(args.or_default("items", 1000)?)
+        .num_patterns(args.or_default("patterns", 2000)?)
+        .avg_transaction_len(args.or_default("avg-len", 15.0)?)
+        .avg_pattern_len(args.or_default("pattern-len", 6.0)?)
+        .seed(args.or_default("seed", 0)?);
+    let format: String = args.or_default("format", "text".into())?;
+    args.finish()?;
+    let dataset = params.generate();
+    match format.as_str() {
+        "text" => write_transactions_file(&path, &dataset)?,
+        "binary" => write_transactions_binary(std::fs::File::create(&path)?, &dataset)?,
+        other => return Err(ArgError(format!("unknown format {other:?}")).into()),
+    }
+    writeln!(
+        out,
+        "wrote {} ({} transactions, {} items, avg length {:.1}) to {path}",
+        params.name(),
+        dataset.len(),
+        dataset.num_items(),
+        dataset.avg_transaction_len()
+    )?;
+    Ok(())
+}
+
+fn min_support(args: &Args) -> Result<MinSupport, ArgError> {
+    match (
+        args.optional::<f64>("min-support")?,
+        args.optional::<u64>("min-count")?,
+    ) {
+        (Some(_), Some(_)) => Err(ArgError(
+            "give either --min-support or --min-count, not both".into(),
+        )),
+        (Some(f), None) => Ok(MinSupport::Fraction(f)),
+        (None, Some(c)) => Ok(MinSupport::Count(c)),
+        (None, None) => Err(ArgError("need --min-support FRAC or --min-count N".into())),
+    }
+}
+
+fn cmd_mine(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>> {
+    let input: String = args.required("input")?;
+    let support = min_support(args)?;
+    let max_k: Option<usize> = args.optional("max-k")?;
+    let rules_conf: Option<f64> = args.optional("rules")?;
+    let top: usize = args.or_default("top", 20)?;
+    args.finish()?;
+
+    let dataset = read_transactions_auto(&input)?;
+    let mut params = AprioriParams::with_min_support_count(0);
+    params.min_support = support;
+    params.max_k = max_k;
+    let started = std::time::Instant::now();
+    let run = Apriori::new(params).mine(dataset.transactions());
+    writeln!(
+        out,
+        "{} transactions, min count {}: {} frequent itemsets in {} passes ({:.2}s)",
+        dataset.len(),
+        run.min_count,
+        run.frequent.len(),
+        run.passes.len(),
+        started.elapsed().as_secs_f64()
+    )?;
+    for pass in &run.passes {
+        writeln!(
+            out,
+            "  pass {:>2}: {:>8} candidates -> {:>8} frequent ({} scan{})",
+            pass.k,
+            pass.candidates,
+            pass.frequent,
+            pass.db_scans,
+            if pass.db_scans == 1 { "" } else { "s" }
+        )?;
+    }
+    if let Some(conf) = rules_conf {
+        let mut rules = generate_rules(&run.frequent, conf);
+        rules.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap()
+                .then(b.support_count.cmp(&a.support_count))
+        });
+        writeln!(
+            out,
+            "{} rules at confidence >= {:.0}%:",
+            rules.len(),
+            conf * 100.0
+        )?;
+        for rule in rules.iter().take(top) {
+            writeln!(out, "  {rule}")?;
+        }
+    }
+    Ok(())
+}
+
+fn parse_algorithm(args: &Args) -> Result<Algorithm, ArgError> {
+    let name: String = args.required("algorithm")?;
+    Ok(match name.as_str() {
+        "cd" => Algorithm::Cd,
+        "npa" => Algorithm::Npa,
+        "dd" => Algorithm::Dd,
+        "dd-comm" => Algorithm::DdComm,
+        "idd" => Algorithm::Idd,
+        "idd-1src" => Algorithm::IddSingleSource,
+        "hd" => Algorithm::Hd {
+            group_threshold: args.or_default("group-threshold", 1000)?,
+        },
+        "hpa" => Algorithm::Hpa {
+            eld_permille: args.or_default("eld-permille", 0)?,
+        },
+        "pdm" => Algorithm::Pdm {
+            buckets: args.or_default("buckets", 1 << 15)?,
+            filter_passes: args.or_default("filter-passes", 1)?,
+        },
+        other => return Err(ArgError(format!("unknown algorithm {other:?}"))),
+    })
+}
+
+fn parse_machine(args: &Args) -> Result<MachineProfile, ArgError> {
+    Ok(
+        match args.or_default::<String>("machine", "t3e".into())?.as_str() {
+            "t3e" => MachineProfile::cray_t3e(),
+            "sp2" => MachineProfile::ibm_sp2(),
+            "ideal" => MachineProfile::ideal(),
+            other => return Err(ArgError(format!("unknown machine {other:?}"))),
+        },
+    )
+}
+
+fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>> {
+    let input: String = args.required("input")?;
+    let procs: usize = args.required("procs")?;
+    let algorithm = parse_algorithm(args)?;
+    let machine = parse_machine(args)?;
+    let support = min_support(args)?;
+    let mut params = ParallelParams::with_min_support_count(0);
+    params.min_support = support;
+    params.page_size = args.or_default("page-size", 1000)?;
+    params.max_k = args.optional("max-k")?;
+    params.memory_capacity = args.optional("memory-capacity")?;
+    args.finish()?;
+
+    let dataset = read_transactions_auto(&input)?;
+    let miner = ParallelMiner::new(procs).machine(machine);
+    let started = std::time::Instant::now();
+    let run = miner.mine(algorithm, &dataset, &params);
+    writeln!(
+        out,
+        "{} on {} simulated {} processors ({} transactions, min count {}):",
+        run.algorithm,
+        procs,
+        machine.name,
+        dataset.len(),
+        run.min_count
+    )?;
+    writeln!(
+        out,
+        "  virtual response time {:.3} ms   (wall {:.2}s, {} frequent itemsets)",
+        run.response_time * 1e3,
+        started.elapsed().as_secs_f64(),
+        run.frequent.len()
+    )?;
+    writeln!(
+        out,
+        "  {} MB moved, compute imbalance {:.1}%",
+        run.total_bytes() / 1_000_000,
+        run.compute_imbalance() * 100.0
+    )?;
+    for pass in &run.passes {
+        writeln!(
+            out,
+            "  pass {:>2}: {:>8} candidates, grid {}x{}, {:>9.3} ms",
+            pass.k,
+            pass.candidates,
+            pass.grid.0,
+            pass.grid.1,
+            pass.time * 1e3
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_model(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>> {
+    let w = Workload {
+        n: args.required("n")?,
+        m: args.required("m")?,
+        c: args.required("c")?,
+        s: args.required("s")?,
+    };
+    let procs: f64 = args.required("procs")?;
+    let g: f64 = args.or_default("g", (procs).sqrt().round())?;
+    let machine: String = args.or_default("machine", "t3e".into())?;
+    args.finish()?;
+    let p = match machine.as_str() {
+        "t3e" => CostParams::cray_t3e(),
+        "sp2" => CostParams::ibm_sp2(),
+        other => return Err(ArgError(format!("unknown machine {other:?}")).into()),
+    };
+    writeln!(
+        out,
+        "Section IV closed forms (N={}, M={}, C={}, S={}, P={}, G={}):",
+        w.n, w.m, w.c, w.s, procs, g
+    )?;
+    writeln!(out, "  serial  (Eq 3): {:>12.3} s", serial_time(&w, &p))?;
+    writeln!(out, "  CD      (Eq 4): {:>12.3} s", cd_time(&w, procs, &p))?;
+    writeln!(out, "  DD      (Eq 5): {:>12.3} s", dd_time(&w, procs, &p))?;
+    writeln!(out, "  IDD     (Eq 6): {:>12.3} s", idd_time(&w, procs, &p))?;
+    writeln!(
+        out,
+        "  HD      (Eq 7): {:>12.3} s",
+        hd_time(&w, procs, g, &p)
+    )?;
+    match hd_beats_cd_window(w.m, w.n, procs) {
+        Some((lo, hi)) => writeln!(out, "  HD beats CD for G in ({lo:.1}, {hi:.1}) (Eq 8)")?,
+        None => writeln!(out, "  Eq 8 window empty: HD should pick G=1 (= CD)")?,
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>> {
+    let input: String = args.required("input")?;
+    let top: usize = args.or_default("top", 10)?;
+    args.finish()?;
+    let dataset = read_transactions_auto(&input)?;
+    writeln!(out, "{}", dataset_stats(&dataset, top))?;
+    Ok(())
+}
+
+fn cmd_summary(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>> {
+    let input: String = args.required("input")?;
+    let support = min_support(args)?;
+    let max_k: Option<usize> = args.optional("max-k")?;
+    let kind: String = args.or_default("kind", "maximal".into())?;
+    args.finish()?;
+    let dataset = read_transactions_auto(&input)?;
+    let mut params = AprioriParams::with_min_support_count(0);
+    params.min_support = support;
+    params.max_k = max_k;
+    let run = Apriori::new(params).mine(dataset.transactions());
+    let summary = match kind.as_str() {
+        "maximal" => maximal_itemsets(&run.frequent),
+        "closed" => closed_itemsets(&run.frequent),
+        other => return Err(ArgError(format!("unknown summary kind {other:?}")).into()),
+    };
+    writeln!(
+        out,
+        "{} frequent itemsets -> {} {kind} itemsets",
+        run.frequent.len(),
+        summary.len()
+    )?;
+    for (set, count) in &summary {
+        writeln!(out, "  {set}  σ = {count}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::argv;
+
+    fn run_ok(parts: &[&str]) -> String {
+        let mut out = Vec::new();
+        dispatch(&argv(parts), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    fn run_err(parts: &[&str]) -> String {
+        let mut out = Vec::new();
+        dispatch(&argv(parts), &mut out).unwrap_err().to_string()
+    }
+
+    fn temp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("armine_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["help"]).contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        assert!(run_err(&["frobnicate"]).contains("frobnicate"));
+    }
+
+    #[test]
+    fn gen_then_mine_then_parallel() {
+        let db = temp("pipeline.txt");
+        let o = run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "300",
+            "--items",
+            "60",
+            "--patterns",
+            "20",
+            "--seed",
+            "3",
+        ]);
+        assert!(o.contains("300 transactions"));
+
+        let o = run_ok(&[
+            "mine",
+            "--input",
+            &db,
+            "--min-support",
+            "0.03",
+            "--max-k",
+            "3",
+            "--rules",
+            "0.7",
+        ]);
+        assert!(o.contains("frequent itemsets"));
+        assert!(o.contains("pass  2"));
+
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "hd",
+            "--procs",
+            "4",
+            "--min-support",
+            "0.03",
+            "--max-k",
+            "3",
+        ]);
+        assert!(o.contains("HD on 4 simulated"));
+        assert!(o.contains("virtual response time"));
+    }
+
+    #[test]
+    fn mine_requires_exactly_one_support_flavour() {
+        let db = temp("sup.txt");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "50",
+            "--items",
+            "20",
+            "--patterns",
+            "5",
+        ]);
+        assert!(run_err(&["mine", "--input", &db]).contains("min-support"));
+        assert!(run_err(&[
+            "mine",
+            "--input",
+            &db,
+            "--min-support",
+            "0.1",
+            "--min-count",
+            "3",
+        ])
+        .contains("not both"));
+        // min-count alone works.
+        let o = run_ok(&["mine", "--input", &db, "--min-count", "5", "--max-k", "2"]);
+        assert!(o.contains("min count 5"));
+    }
+
+    #[test]
+    fn parallel_rejects_unknown_algorithm_and_machine() {
+        let db = temp("alg.txt");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "50",
+            "--items",
+            "20",
+            "--patterns",
+            "5",
+        ]);
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "quantum",
+            "--procs",
+            "2",
+            "--min-count",
+            "2",
+        ])
+        .contains("quantum"));
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "2",
+            "--machine",
+            "cray-3",
+        ])
+        .contains("cray-3"));
+    }
+
+    #[test]
+    fn model_prints_all_equations() {
+        let o = run_ok(&[
+            "model", "--n", "1300000", "--m", "700000", "--c", "455", "--s", "16", "--procs", "64",
+        ]);
+        assert!(o.contains("Eq 3"));
+        assert!(o.contains("Eq 7"));
+        assert!(o.contains("Eq 8"));
+    }
+
+    #[test]
+    fn stats_and_summary_subcommands() {
+        let db = temp("stats.txt");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "200",
+            "--items",
+            "40",
+            "--patterns",
+            "10",
+            "--seed",
+            "4",
+        ]);
+        let o = run_ok(&["stats", "--input", &db, "--top", "3"]);
+        assert!(o.contains("200 transactions"));
+        assert!(o.contains("Gini"));
+
+        let o = run_ok(&[
+            "summary",
+            "--input",
+            &db,
+            "--min-support",
+            "0.05",
+            "--max-k",
+            "3",
+        ]);
+        assert!(o.contains("maximal itemsets"));
+        let o = run_ok(&[
+            "summary",
+            "--input",
+            &db,
+            "--min-support",
+            "0.05",
+            "--max-k",
+            "3",
+            "--kind",
+            "closed",
+        ]);
+        assert!(o.contains("closed itemsets"));
+        assert!(run_err(&[
+            "summary",
+            "--input",
+            &db,
+            "--min-support",
+            "0.05",
+            "--kind",
+            "fancy",
+        ])
+        .contains("fancy"));
+    }
+
+    #[test]
+    fn binary_format_pipeline() {
+        let db = temp("pipeline.bin");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "100",
+            "--items",
+            "30",
+            "--patterns",
+            "8",
+            "--format",
+            "binary",
+        ]);
+        // Auto-detection lets every consumer read it.
+        let o = run_ok(&["mine", "--input", &db, "--min-count", "4", "--max-k", "2"]);
+        assert!(o.contains("100 transactions"));
+        let o = run_ok(&["stats", "--input", &db]);
+        assert!(o.contains("100 transactions"));
+        assert!(run_err(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "5",
+            "--format",
+            "xml",
+        ])
+        .contains("xml"));
+    }
+
+    #[test]
+    fn unknown_option_is_an_error() {
+        assert!(
+            run_err(&["gen", "--out", "x", "--transactions", "5", "--bogus", "1"])
+                .contains("--bogus")
+        );
+    }
+}

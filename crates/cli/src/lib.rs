@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # armine-cli
+//!
+//! The `armine` command-line tool:
+//!
+//! ```text
+//! armine gen      --out db.txt --transactions 10000 [--items 500] [--seed 1] ...
+//! armine mine     --input db.txt --min-support 0.01 [--rules 0.8] [--max-k 4] ...
+//! armine parallel --input db.txt --algorithm hd --procs 64 --min-support 0.01 ...
+//! armine model    --n 1300000 --m 700000 --c 455 --s 16 --procs 64
+//! ```
+//!
+//! The argument parser is hand-rolled (and unit-tested) to keep the
+//! dependency set identical to the library's.
+
+pub mod args;
+pub mod commands;
+
+/// Entry point shared by the binary and the tests: parses `argv` (without
+/// the program name) and runs. Returns the process exit code.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
+    match commands::dispatch(argv, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `armine help` for usage");
+            2
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The `armine` binary. See [`armine_cli::commands::USAGE`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(armine_cli::run(&argv, &mut stdout));
+}

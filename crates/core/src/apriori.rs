@@ -1,0 +1,719 @@
+//! The serial Apriori algorithm (Figure 1 of the paper).
+//!
+//! Each pass `k` generates candidates `C_k` from `F_{k-1}` with
+//! [`apriori_gen`] (join + prune), counts their occurrences with a
+//! [`HashTree`], and keeps the candidates meeting minimum support. The
+//! algorithm stops when a pass produces no frequent itemsets.
+//!
+//! When a memory capacity is configured and `|C_k|` exceeds it, the
+//! candidate set is partitioned and the database is scanned once per
+//! partition — the multi-scan behaviour that makes serial Apriori (and CD)
+//! "unscalable with respect to the increasing size of candidate set" and
+//! that Figure 12 measures.
+
+use crate::hashtree::{HashTree, HashTreeParams, OwnershipFilter, TreeStats};
+use crate::item::Item;
+use crate::itemset::ItemSet;
+use crate::transaction::Transaction;
+use std::collections::{HashMap, HashSet};
+
+/// Minimum support, either as an absolute transaction count or as a
+/// fraction of the database size (the paper quotes percentages: 0.1%,
+/// 0.25%, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MinSupport {
+    /// Absolute: a candidate is frequent if its count is at least this.
+    Count(u64),
+    /// Relative: at least `fraction * N` transactions (rounded up, minimum 1).
+    Fraction(f64),
+}
+
+impl MinSupport {
+    /// Resolves to an absolute count for a database of `n` transactions.
+    pub fn resolve(self, n: usize) -> u64 {
+        match self {
+            MinSupport::Count(c) => c,
+            MinSupport::Fraction(f) => {
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "support fraction out of range: {f}"
+                );
+                ((f * n as f64).ceil() as u64).max(1)
+            }
+        }
+    }
+}
+
+/// Tunables for a mining run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AprioriParams {
+    /// Minimum support threshold.
+    pub min_support: MinSupport,
+    /// Hash-tree shape (fan-out and leaf capacity).
+    pub tree: HashTreeParams,
+    /// Maximum candidates a single in-memory hash tree may hold. `None`
+    /// means unlimited. When `|C_k|` exceeds this, the pass partitions the
+    /// candidates and scans the database once per partition.
+    pub memory_capacity: Option<usize>,
+    /// Stop after this pass even if larger frequent itemsets exist.
+    pub max_k: Option<usize>,
+}
+
+impl AprioriParams {
+    /// Params with an absolute minimum support count and defaults otherwise.
+    pub fn with_min_support_count(count: u64) -> Self {
+        AprioriParams {
+            min_support: MinSupport::Count(count),
+            tree: HashTreeParams::default(),
+            memory_capacity: None,
+            max_k: None,
+        }
+    }
+
+    /// Params with a fractional minimum support and defaults otherwise.
+    pub fn with_min_support(fraction: f64) -> Self {
+        AprioriParams {
+            min_support: MinSupport::Fraction(fraction),
+            tree: HashTreeParams::default(),
+            memory_capacity: None,
+            max_k: None,
+        }
+    }
+
+    /// Sets the hash-tree shape.
+    pub fn tree(mut self, tree: HashTreeParams) -> Self {
+        self.tree = tree;
+        self
+    }
+
+    /// Caps the in-memory candidate count (forces multi-scan passes).
+    pub fn memory_capacity(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "memory capacity must be positive");
+        self.memory_capacity = Some(cap);
+        self
+    }
+
+    /// Caps the maximum itemset size mined.
+    pub fn max_k(mut self, k: usize) -> Self {
+        self.max_k = Some(k);
+        self
+    }
+}
+
+/// All frequent itemsets discovered by a run: the `∪ F_k` of Figure 1.
+#[derive(Debug, Clone, Default)]
+pub struct FrequentItemsets {
+    /// `levels[k-1]` holds `F_k` in lexicographic order with counts.
+    levels: Vec<Vec<(ItemSet, u64)>>,
+    by_set: HashMap<ItemSet, u64>,
+    num_transactions: u64,
+}
+
+impl FrequentItemsets {
+    /// Assembles a result from per-level `(itemset, count)` lists; level
+    /// `i` of the input holds `F_{i+1}`. Used by the parallel drivers,
+    /// which discover the levels pass by pass.
+    pub fn from_levels(levels: Vec<Vec<(ItemSet, u64)>>, num_transactions: u64) -> Self {
+        let mut out = FrequentItemsets {
+            num_transactions,
+            ..Default::default()
+        };
+        for level in levels {
+            out.push_level(level);
+        }
+        out
+    }
+
+    fn push_level(&mut self, level: Vec<(ItemSet, u64)>) {
+        for (set, count) in &level {
+            self.by_set.insert(set.clone(), *count);
+        }
+        self.levels.push(level);
+    }
+
+    /// `F_k`, lexicographically ordered. Empty slice if the run never
+    /// reached (or found nothing at) size `k`.
+    pub fn level(&self, k: usize) -> &[(ItemSet, u64)] {
+        if k == 0 || k > self.levels.len() {
+            return &[];
+        }
+        &self.levels[k - 1]
+    }
+
+    /// Largest `k` with a non-empty `F_k`.
+    pub fn max_len(&self) -> usize {
+        self.levels
+            .iter()
+            .rposition(|l| !l.is_empty())
+            .map_or(0, |i| i + 1)
+    }
+
+    /// The support count of a frequent itemset, `None` if not frequent.
+    pub fn support(&self, set: &ItemSet) -> Option<u64> {
+        self.by_set.get(set).copied()
+    }
+
+    /// The relative support (count / N) of a frequent itemset.
+    pub fn relative_support(&self, set: &ItemSet) -> Option<f64> {
+        self.support(set)
+            .map(|c| c as f64 / self.num_transactions.max(1) as f64)
+    }
+
+    /// Whether `set` is frequent.
+    pub fn contains(&self, set: &ItemSet) -> bool {
+        self.by_set.contains_key(set)
+    }
+
+    /// Total number of frequent itemsets across all sizes.
+    pub fn len(&self) -> usize {
+        self.by_set.len()
+    }
+
+    /// Whether nothing is frequent.
+    pub fn is_empty(&self) -> bool {
+        self.by_set.is_empty()
+    }
+
+    /// Iterates all `(itemset, count)` pairs, smallest sizes first.
+    pub fn iter(&self) -> impl Iterator<Item = (&ItemSet, u64)> + '_ {
+        self.levels
+            .iter()
+            .flat_map(|l| l.iter().map(|(s, c)| (s, *c)))
+    }
+
+    /// The number of transactions the run mined (for relative support).
+    pub fn num_transactions(&self) -> u64 {
+        self.num_transactions
+    }
+}
+
+/// Per-pass accounting of a mining run.
+#[derive(Debug, Clone, Default)]
+pub struct PassInfo {
+    /// Pass number `k`.
+    pub k: usize,
+    /// `|C_k|` — candidates generated.
+    pub candidates: usize,
+    /// `|F_k|` — candidates that met minimum support.
+    pub frequent: usize,
+    /// Database scans this pass (1 unless memory-capped).
+    pub db_scans: usize,
+    /// Hash-tree work counters, summed over all tree partitions.
+    pub tree_stats: TreeStats,
+}
+
+/// The result of a mining run: frequent itemsets plus per-pass accounting.
+#[derive(Debug, Clone, Default)]
+pub struct MiningRun {
+    /// The discovered frequent itemsets.
+    pub frequent: FrequentItemsets,
+    /// One entry per executed pass, starting at `k = 1`.
+    pub passes: Vec<PassInfo>,
+    /// The resolved absolute minimum support count.
+    pub min_count: u64,
+}
+
+impl MiningRun {
+    /// Convenience passthrough: the support count of a frequent itemset.
+    pub fn support(&self, set: &ItemSet) -> Option<u64> {
+        self.frequent.support(set)
+    }
+
+    /// Total database scans over all passes.
+    pub fn total_db_scans(&self) -> usize {
+        self.passes.iter().map(|p| p.db_scans).sum()
+    }
+}
+
+/// The serial Apriori miner.
+///
+/// ```
+/// use armine_core::apriori::{Apriori, AprioriParams};
+/// use armine_core::{Transaction, Item, ItemSet};
+///
+/// let db = vec![
+///     Transaction::new(1, vec![Item(0), Item(1)]),
+///     Transaction::new(2, vec![Item(0), Item(1), Item(2)]),
+///     Transaction::new(3, vec![Item(1), Item(2)]),
+/// ];
+/// let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(&db);
+/// assert_eq!(run.support(&ItemSet::from([0, 1])), Some(2));
+/// assert_eq!(run.frequent.max_len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Apriori {
+    params: AprioriParams,
+}
+
+impl Apriori {
+    /// A miner with the given parameters.
+    pub fn new(params: AprioriParams) -> Self {
+        Apriori { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &AprioriParams {
+        &self.params
+    }
+
+    /// Mines all frequent itemsets of `transactions`.
+    pub fn mine(&self, transactions: &[Transaction]) -> MiningRun {
+        let min_count = self.params.min_support.resolve(transactions.len());
+        let mut run = MiningRun {
+            min_count,
+            ..Default::default()
+        };
+        run.frequent.num_transactions = transactions.len() as u64;
+
+        // Pass 1: direct per-item counting (no tree needed).
+        let f1 = frequent_singletons(transactions, min_count);
+        run.passes.push(PassInfo {
+            k: 1,
+            candidates: f1.candidates,
+            frequent: f1.frequent.len(),
+            db_scans: 1,
+            tree_stats: TreeStats::default(),
+        });
+        let mut prev: Vec<ItemSet> = f1.frequent.iter().map(|(s, _)| s.clone()).collect();
+        run.frequent.push_level(f1.frequent);
+
+        let mut k = 2;
+        while !prev.is_empty() && self.params.max_k.is_none_or(|m| k <= m) {
+            let candidates = apriori_gen(&prev);
+            if candidates.is_empty() {
+                break;
+            }
+            let (level, info) = count_candidates(
+                k,
+                candidates,
+                transactions,
+                min_count,
+                self.params.tree,
+                self.params.memory_capacity,
+            );
+            run.passes.push(info);
+            prev = level.iter().map(|(s, _)| s.clone()).collect();
+            run.frequent.push_level(level);
+            k += 1;
+        }
+        run
+    }
+}
+
+struct Pass1 {
+    candidates: usize,
+    frequent: Vec<(ItemSet, u64)>,
+}
+
+/// Pass 1: count every item and keep those meeting minimum support.
+fn frequent_singletons(transactions: &[Transaction], min_count: u64) -> Pass1 {
+    let num_items = transactions
+        .iter()
+        .filter_map(|t| t.items().last())
+        .map(|i| i.id() + 1)
+        .max()
+        .unwrap_or(0) as usize;
+    let mut counts = vec![0u64; num_items];
+    for t in transactions {
+        for item in t.items() {
+            counts[item.index()] += 1;
+        }
+    }
+    let candidates = counts.iter().filter(|&&c| c > 0).count();
+    let frequent = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= min_count)
+        .map(|(id, &c)| (ItemSet::singleton(Item(id as u32)), c))
+        .collect();
+    Pass1 {
+        candidates,
+        frequent,
+    }
+}
+
+/// Counts `candidates` over `transactions` with hash trees, partitioning
+/// the candidate set when it exceeds `memory_capacity` (one database scan
+/// per partition). Returns the frequent level and the pass accounting.
+pub fn count_candidates(
+    k: usize,
+    candidates: Vec<ItemSet>,
+    transactions: &[Transaction],
+    min_count: u64,
+    tree_params: HashTreeParams,
+    memory_capacity: Option<usize>,
+) -> (Vec<(ItemSet, u64)>, PassInfo) {
+    let total = candidates.len();
+    let chunk = memory_capacity.unwrap_or(usize::MAX).min(total.max(1));
+    let mut level = Vec::new();
+    let mut stats = TreeStats::default();
+    let mut scans = 0;
+    let mut idx = 0;
+    while idx < total {
+        let end = (idx + chunk).min(total);
+        let mut tree = HashTree::build(k, tree_params, candidates[idx..end].to_vec());
+        tree.count_all(transactions, &OwnershipFilter::all());
+        stats = stats.merged(tree.stats());
+        level.extend(tree.frequent(min_count));
+        scans += 1;
+        idx = end;
+    }
+    let info = PassInfo {
+        k,
+        candidates: total,
+        frequent: level.len(),
+        db_scans: scans.max(1),
+        tree_stats: stats,
+    };
+    (level, info)
+}
+
+/// `apriori_gen(F_{k-1})`: the join + prune candidate generation of the
+/// Apriori algorithm.
+///
+/// `prev` must be the lexicographically sorted `F_{k-1}`. Two itemsets
+/// sharing their first `k-2` items join into a `k`-candidate; the candidate
+/// survives only if **all** of its `k-1`-subsets are in `prev` (the
+/// anti-monotonicity prune). The output is lexicographically sorted, which
+/// every parallel formulation relies on: processors generate identical
+/// candidate sequences independently, so candidate *indices* agree across
+/// processors and CD's count reduction can sum plain vectors.
+pub fn apriori_gen(prev: &[ItemSet]) -> Vec<ItemSet> {
+    debug_assert!(
+        prev.windows(2).all(|w| w[0] < w[1]),
+        "F_(k-1) must be sorted"
+    );
+    if prev.is_empty() {
+        return Vec::new();
+    }
+    let k_minus_1 = prev[0].len();
+    debug_assert!(prev.iter().all(|s| s.len() == k_minus_1));
+    let prev_set: HashSet<&ItemSet> = prev.iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < prev.len() {
+        // The block [i, block_end) shares the same (k-2)-item prefix.
+        let prefix = &prev[i].items()[..k_minus_1 - 1];
+        let mut block_end = i + 1;
+        while block_end < prev.len() && &prev[block_end].items()[..k_minus_1 - 1] == prefix {
+            block_end += 1;
+        }
+        for a in i..block_end {
+            for b in a + 1..block_end {
+                let candidate = prev[a].extend_with(prev[b].items()[k_minus_1 - 1]);
+                // Prune: every (k-1)-subset must be frequent. (Two of them
+                // are prev[a] and prev[b] themselves; checking all is
+                // simpler and still O(k) hash probes.)
+                let ok = candidate
+                    .subsets_dropping_one()
+                    .all(|s| prev_set.contains(&s));
+                if ok {
+                    out.push(candidate);
+                }
+            }
+        }
+        i = block_end;
+    }
+    debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "output must be sorted");
+    out
+}
+
+/// Counts, for each possible first item, how many of `candidates` start
+/// with it — the statistic the IDD bin-packing partitioner consumes. The
+/// paper notes candidates need not be stored for this; only the counts.
+pub fn first_item_histogram(candidates: &[ItemSet], num_items: u32) -> Vec<u64> {
+    let mut hist = vec![0u64; num_items as usize];
+    for c in candidates {
+        if let Some(first) = c.first() {
+            hist[first.index()] += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from(ids)
+    }
+
+    fn tx(tid: u64, ids: &[u32]) -> Transaction {
+        Transaction::new(tid, ids.iter().map(|&i| Item(i)).collect())
+    }
+
+    fn table1() -> Dataset {
+        Dataset::from_named_transactions(&[
+            &["Bread", "Coke", "Milk"],
+            &["Beer", "Bread"],
+            &["Beer", "Coke", "Diaper", "Milk"],
+            &["Beer", "Bread", "Diaper", "Milk"],
+            &["Coke", "Diaper", "Milk"],
+        ])
+    }
+
+    /// Brute-force frequent itemset miner for cross-checking (all sizes).
+    fn brute_force(transactions: &[Transaction], min_count: u64) -> HashMap<ItemSet, u64> {
+        let mut items: Vec<Item> = transactions
+            .iter()
+            .flat_map(|t| t.items().iter().copied())
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        let n = items.len();
+        assert!(n <= 20, "brute force bound");
+        let mut out = HashMap::new();
+        for mask in 1u32..(1u32 << n) {
+            let subset: Vec<Item> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| items[i])
+                .collect();
+            let s = ItemSet::from_sorted(subset);
+            let count = transactions.iter().filter(|t| t.contains_set(&s)).count() as u64;
+            if count >= min_count {
+                out.insert(s, count);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn min_support_resolution() {
+        assert_eq!(MinSupport::Count(7).resolve(100), 7);
+        assert_eq!(MinSupport::Fraction(0.1).resolve(100), 10);
+        assert_eq!(MinSupport::Fraction(0.101).resolve(100), 11, "rounds up");
+        assert_eq!(MinSupport::Fraction(0.0).resolve(100), 1, "never zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn min_support_fraction_validated() {
+        MinSupport::Fraction(1.5).resolve(10);
+    }
+
+    #[test]
+    fn apriori_gen_joins_and_prunes() {
+        // Example from Agrawal & Srikant: F_3 = {123, 124, 134, 135, 234}
+        // joins to {1234, 1345}; {1345} is pruned because {145} ∉ F_3.
+        let f3 = vec![
+            set(&[1, 2, 3]),
+            set(&[1, 2, 4]),
+            set(&[1, 3, 4]),
+            set(&[1, 3, 5]),
+            set(&[2, 3, 4]),
+        ];
+        assert_eq!(apriori_gen(&f3), vec![set(&[1, 2, 3, 4])]);
+    }
+
+    #[test]
+    fn apriori_gen_from_singletons() {
+        let f1 = vec![set(&[1]), set(&[3]), set(&[7])];
+        assert_eq!(
+            apriori_gen(&f1),
+            vec![set(&[1, 3]), set(&[1, 7]), set(&[3, 7])]
+        );
+    }
+
+    #[test]
+    fn apriori_gen_empty_input() {
+        assert!(apriori_gen(&[]).is_empty());
+        assert!(
+            apriori_gen(&[set(&[5])]).is_empty(),
+            "single set joins nothing"
+        );
+    }
+
+    #[test]
+    fn apriori_gen_matches_brute_force_definition() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            // Random F_2.
+            let mut f2: Vec<ItemSet> = (0..25)
+                .filter_map(|_| {
+                    let a = rng.gen_range(0..8u32);
+                    let b = rng.gen_range(0..8u32);
+                    (a != b).then(|| set(&[a.min(b), a.max(b)]))
+                })
+                .collect();
+            f2.sort();
+            f2.dedup();
+            let got = apriori_gen(&f2);
+            // Brute force definition: every 3-set whose 2-subsets are all in F_2.
+            let in_f2: HashSet<&ItemSet> = f2.iter().collect();
+            let mut want = Vec::new();
+            for a in 0..8u32 {
+                for b in a + 1..8 {
+                    for c in b + 1..8 {
+                        let cand = set(&[a, b, c]);
+                        if cand.subsets_dropping_one().all(|s| in_f2.contains(&s)) {
+                            want.push(cand);
+                        }
+                    }
+                }
+            }
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn table1_mining_matches_section_2() {
+        let d = table1();
+        let run = Apriori::new(AprioriParams::with_min_support_count(3)).mine(d.transactions());
+        // σ(Diaper, Milk)=3 — frequent at min count 3.
+        let dm = d.itemset(&["Diaper", "Milk"]).unwrap();
+        assert_eq!(run.support(&dm), Some(3));
+        // σ(Diaper, Milk, Beer)=2 — not frequent.
+        let dmb = d.itemset(&["Diaper", "Milk", "Beer"]).unwrap();
+        assert_eq!(run.support(&dmb), None);
+    }
+
+    #[test]
+    fn mining_matches_brute_force() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..10u64 {
+            let transactions: Vec<Transaction> = (0..40)
+                .map(|tid| {
+                    let len = rng.gen_range(1..=8);
+                    let items: Vec<Item> = (0..len).map(|_| Item(rng.gen_range(0..12))).collect();
+                    Transaction::new(tid, items)
+                })
+                .collect();
+            let min_count = 2 + trial % 4;
+            let run =
+                Apriori::new(AprioriParams::with_min_support_count(min_count)).mine(&transactions);
+            let expected = brute_force(&transactions, min_count);
+            let got: HashMap<ItemSet, u64> =
+                run.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+            assert_eq!(got, expected, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn memory_cap_gives_same_answer_with_more_scans() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
+        let transactions: Vec<Transaction> = (0..60)
+            .map(|tid| {
+                let len = rng.gen_range(2..=9);
+                let items: Vec<Item> = (0..len).map(|_| Item(rng.gen_range(0..15))).collect();
+                Transaction::new(tid, items)
+            })
+            .collect();
+        let uncapped = Apriori::new(AprioriParams::with_min_support_count(3)).mine(&transactions);
+        let capped = Apriori::new(AprioriParams::with_min_support_count(3).memory_capacity(5))
+            .mine(&transactions);
+        // Identical frequent itemsets...
+        let a: Vec<_> = uncapped
+            .frequent
+            .iter()
+            .map(|(s, c)| (s.clone(), c))
+            .collect();
+        let b: Vec<_> = capped
+            .frequent
+            .iter()
+            .map(|(s, c)| (s.clone(), c))
+            .collect();
+        assert_eq!(a, b);
+        // ...but strictly more database scans.
+        assert!(capped.total_db_scans() > uncapped.total_db_scans());
+    }
+
+    #[test]
+    fn max_k_stops_early() {
+        let d = table1();
+        let run =
+            Apriori::new(AprioriParams::with_min_support_count(1).max_k(2)).mine(d.transactions());
+        assert!(run.frequent.max_len() <= 2);
+        assert!(run.passes.len() <= 2);
+    }
+
+    #[test]
+    fn pass_info_records_candidate_counts() {
+        let d = table1();
+        let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(d.transactions());
+        assert_eq!(run.passes[0].k, 1);
+        assert_eq!(run.passes[0].candidates, 5, "five distinct items");
+        for (i, p) in run.passes.iter().enumerate() {
+            assert_eq!(p.k, i + 1);
+            assert!(p.frequent <= p.candidates);
+            assert!(p.db_scans >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let run = Apriori::new(AprioriParams::with_min_support_count(1)).mine(&[]);
+        assert!(run.frequent.is_empty());
+        assert_eq!(run.frequent.max_len(), 0);
+    }
+
+    #[test]
+    fn fractional_support_on_table1() {
+        let d = table1();
+        // 60% of 5 transactions = 3.
+        let run = Apriori::new(AprioriParams::with_min_support(0.6)).mine(d.transactions());
+        assert_eq!(run.min_count, 3);
+        let dm = d.itemset(&["Diaper", "Milk"]).unwrap();
+        assert_eq!(run.frequent.relative_support(&dm), Some(3.0 / 5.0));
+    }
+
+    #[test]
+    fn frequent_itemsets_level_access() {
+        let d = table1();
+        let run = Apriori::new(AprioriParams::with_min_support_count(3)).mine(d.transactions());
+        assert!(!run.frequent.level(1).is_empty());
+        assert!(run.frequent.level(0).is_empty());
+        assert!(run.frequent.level(99).is_empty());
+        let total: usize = (1..=run.frequent.max_len())
+            .map(|k| run.frequent.level(k).len())
+            .sum();
+        assert_eq!(total, run.frequent.len());
+    }
+
+    #[test]
+    fn from_levels_reassembles() {
+        let levels = vec![
+            vec![(set(&[1]), 5), (set(&[2]), 4)],
+            vec![(set(&[1, 2]), 3)],
+        ];
+        let f = FrequentItemsets::from_levels(levels, 10);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.support(&set(&[1, 2])), Some(3));
+        assert_eq!(f.max_len(), 2);
+        assert_eq!(f.num_transactions(), 10);
+    }
+
+    #[test]
+    fn first_item_histogram_counts() {
+        let cands = vec![set(&[0, 5]), set(&[0, 7]), set(&[3, 4])];
+        assert_eq!(first_item_histogram(&cands, 6), vec![2, 0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn support_monotonicity_holds() {
+        // σ(X) ≥ σ(Y) whenever X ⊆ Y, over the discovered lattice.
+        let d = table1();
+        let run = Apriori::new(AprioriParams::with_min_support_count(1)).mine(d.transactions());
+        for (set_b, count_b) in run.frequent.iter() {
+            for (set_a, count_a) in run.frequent.iter() {
+                if set_a.is_subset_of(set_b) {
+                    assert!(
+                        count_a >= count_b,
+                        "monotonicity violated: {set_a}={count_a} ⊆ {set_b}={count_b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_transaction_database() {
+        let run = Apriori::new(AprioriParams::with_min_support_count(1)).mine(&[tx(1, &[2, 4, 6])]);
+        assert_eq!(run.frequent.len(), 7, "all 2^3 - 1 subsets frequent");
+        assert_eq!(run.frequent.max_len(), 3);
+    }
+}

@@ -1,0 +1,439 @@
+//! Candidate partitioning for the distributed-candidate algorithms.
+//!
+//! DD partitions candidates round-robin; IDD partitions them by **first
+//! item** using bin packing so every processor gets (a) roughly the same
+//! number of candidates and (b) a compact first-item ownership bitmap for
+//! root filtering (Section III-C). When too many candidates share one first
+//! item (more than `M/P`, increasingly likely as `P` grows), the paper's
+//! refinement splits that item by **second** item; `partition_two_level`
+//! implements it.
+//!
+//! The packer is the classic Longest-Processing-Time greedy (the paper
+//! cites bin-packing [Papadimitriou & Steiglitz]; LPT's 4/3 bound is ample
+//! here — the paper itself reports 1.3–2.3% candidate imbalance).
+
+use crate::bitmap::ItemBitmap;
+use crate::hashtree::OwnershipFilter;
+use crate::item::Item;
+use crate::itemset::ItemSet;
+use std::collections::HashSet;
+
+/// The result of packing weighted units into bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packing {
+    /// `assignment[u]` = bin of unit `u`.
+    pub assignment: Vec<usize>,
+    /// Total weight per bin.
+    pub loads: Vec<u64>,
+}
+
+impl Packing {
+    /// Relative load imbalance: `max/avg − 1` over non-zero totals, 0 for
+    /// an empty packing. The paper reports this metric (1.3% at P=4, 2.3%
+    /// at P=8 for candidate counts).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.loads.iter().sum();
+        if total == 0 || self.loads.is_empty() {
+            return 0.0;
+        }
+        let avg = total as f64 / self.loads.len() as f64;
+        let max = *self.loads.iter().max().unwrap() as f64;
+        max / avg - 1.0
+    }
+}
+
+/// Longest-Processing-Time greedy packing: sort units by weight descending,
+/// repeatedly assign to the least-loaded bin. Deterministic: ties broken by
+/// unit index then bin index.
+pub fn pack_lpt(weights: &[u64], bins: usize) -> Packing {
+    assert!(bins > 0, "need at least one bin");
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&u| (std::cmp::Reverse(weights[u]), u));
+    let mut loads = vec![0u64; bins];
+    let mut assignment = vec![0usize; weights.len()];
+    for u in order {
+        let bin = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &l)| (l, i))
+            .map(|(i, _)| i)
+            .unwrap();
+        assignment[u] = bin;
+        loads[bin] += weights[u];
+    }
+    Packing { assignment, loads }
+}
+
+/// A partition of a candidate set across `P` processors: each processor's
+/// candidate list plus the ownership filter it applies at the hash-tree
+/// root. Every candidate appears in exactly one part.
+#[derive(Debug, Clone)]
+pub struct CandidatePartition {
+    /// Per-processor candidate lists, each lexicographically sorted.
+    pub parts: Vec<Vec<ItemSet>>,
+    /// Per-processor root filters (bitmap or two-level).
+    pub filters: Vec<OwnershipFilter>,
+    /// Candidate-count imbalance of the packing (`max/avg − 1`).
+    pub imbalance: f64,
+}
+
+impl CandidatePartition {
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total candidates across all parts.
+    pub fn total_candidates(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+}
+
+/// DD's round-robin partition: candidate `i` goes to processor `i mod P`.
+/// No ownership filter exists (DD cannot prune at the root — that is its
+/// redundant-work problem).
+pub fn partition_round_robin(candidates: &[ItemSet], p: usize) -> CandidatePartition {
+    assert!(p > 0);
+    let mut parts: Vec<Vec<ItemSet>> = vec![Vec::new(); p];
+    for (i, c) in candidates.iter().enumerate() {
+        parts[i % p].push(c.clone());
+    }
+    let loads: Vec<u64> = parts.iter().map(|part| part.len() as u64).collect();
+    let imbalance = Packing {
+        assignment: Vec::new(),
+        loads,
+    }
+    .imbalance();
+    CandidatePartition {
+        parts,
+        filters: (0..p).map(|_| OwnershipFilter::all()).collect(),
+        imbalance,
+    }
+}
+
+/// IDD's partition: bin-pack first items by their candidate counts so each
+/// processor owns whole first-item groups of roughly equal total size, and
+/// give each processor the matching bitmap filter.
+pub fn partition_by_first_item(
+    candidates: &[ItemSet],
+    num_items: u32,
+    p: usize,
+) -> CandidatePartition {
+    assert!(p > 0);
+    let hist = crate::apriori::first_item_histogram(candidates, num_items);
+    // Pack only items that actually start candidates.
+    let active: Vec<u32> = (0..num_items).filter(|&i| hist[i as usize] > 0).collect();
+    let weights: Vec<u64> = active.iter().map(|&i| hist[i as usize]).collect();
+    let packing = pack_lpt(&weights, p);
+
+    let mut owner = vec![usize::MAX; num_items as usize];
+    for (u, &item) in active.iter().enumerate() {
+        owner[item as usize] = packing.assignment[u];
+    }
+    let mut parts: Vec<Vec<ItemSet>> = vec![Vec::new(); p];
+    for c in candidates {
+        let first = c.first().expect("empty candidate");
+        parts[owner[first.index()]].push(c.clone());
+    }
+    let filters = (0..p)
+        .map(|proc| {
+            let bitmap = ItemBitmap::from_items(
+                num_items,
+                active
+                    .iter()
+                    .enumerate()
+                    .filter(|&(u, _)| packing.assignment[u] == proc)
+                    .map(|(_, &i)| Item(i)),
+            );
+            OwnershipFilter::first_item(bitmap)
+        })
+        .collect();
+    CandidatePartition {
+        parts,
+        filters,
+        imbalance: packing.imbalance(),
+    }
+}
+
+/// The two-level refinement: first items whose candidate count exceeds
+/// `split_threshold` are split by second item, so a single hot first item
+/// can be spread over several processors. Candidates must have at least two
+/// items (the refinement only matters for k ≥ 2 passes).
+pub fn partition_two_level(
+    candidates: &[ItemSet],
+    num_items: u32,
+    p: usize,
+    split_threshold: u64,
+) -> CandidatePartition {
+    assert!(p > 0);
+    assert!(
+        candidates.iter().all(|c| c.len() >= 2),
+        "two-level partitioning requires candidates of size >= 2"
+    );
+    let hist = crate::apriori::first_item_histogram(candidates, num_items);
+
+    /// A packable unit: a whole first-item group, or one (first, second)
+    /// subgroup of a split first item.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+    enum Unit {
+        First(Item),
+        Pair(Item, Item),
+    }
+
+    let mut units: Vec<Unit> = Vec::new();
+    let mut weights: Vec<u64> = Vec::new();
+    let split: Vec<bool> = hist.iter().map(|&c| c > split_threshold).collect();
+    // Whole groups.
+    for item in 0..num_items {
+        let c = hist[item as usize];
+        if c > 0 && !split[item as usize] {
+            units.push(Unit::First(Item(item)));
+            weights.push(c);
+        }
+    }
+    // Split groups: one unit per (first, second) pair.
+    let mut pair_hist: std::collections::HashMap<(Item, Item), u64> =
+        std::collections::HashMap::new();
+    for c in candidates {
+        let first = c.first().unwrap();
+        if split[first.index()] {
+            *pair_hist.entry((first, c.second().unwrap())).or_insert(0) += 1;
+        }
+    }
+    let mut pairs: Vec<((Item, Item), u64)> = pair_hist.into_iter().collect();
+    pairs.sort(); // determinism
+    for (pair, w) in pairs {
+        units.push(Unit::Pair(pair.0, pair.1));
+        weights.push(w);
+    }
+
+    let packing = pack_lpt(&weights, p);
+    let mut unit_owner: std::collections::HashMap<Unit, usize> = std::collections::HashMap::new();
+    for (u, unit) in units.iter().enumerate() {
+        unit_owner.insert(*unit, packing.assignment[u]);
+    }
+
+    let mut parts: Vec<Vec<ItemSet>> = vec![Vec::new(); p];
+    for c in candidates {
+        let first = c.first().unwrap();
+        let unit = if split[first.index()] {
+            Unit::Pair(first, c.second().unwrap())
+        } else {
+            Unit::First(first)
+        };
+        parts[unit_owner[&unit]].push(c.clone());
+    }
+
+    let filters = (0..p)
+        .map(|proc| {
+            let mut owned_first = ItemBitmap::new(num_items);
+            let mut owned_pairs: HashSet<(Item, Item)> = HashSet::new();
+            for (unit, &owner) in &unit_owner {
+                if owner != proc {
+                    continue;
+                }
+                match unit {
+                    Unit::First(i) => owned_first.insert(*i),
+                    Unit::Pair(f, s) => {
+                        owned_pairs.insert((*f, *s));
+                    }
+                }
+            }
+            OwnershipFilter::two_level(owned_first, owned_pairs)
+        })
+        .collect();
+
+    CandidatePartition {
+        parts,
+        filters,
+        imbalance: packing.imbalance(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from(ids)
+    }
+
+    #[test]
+    fn lpt_balances_simple_weights() {
+        // LPT on [5,5,4,3,3] with 2 bins: 5|5, 4→bin0, 3→bin1, 3→bin1
+        // giving 9/11 (LPT is a 4/3-approximation, not optimal).
+        let p = pack_lpt(&[5, 5, 4, 3, 3], 2);
+        assert_eq!(p.loads.iter().sum::<u64>(), 20);
+        assert!(*p.loads.iter().max().unwrap() <= 11);
+        assert!(p.imbalance() <= 0.1 + 1e-9);
+        // A perfectly splittable instance does pack perfectly.
+        let q = pack_lpt(&[4, 3, 3, 2, 2, 2], 2);
+        assert_eq!(*q.loads.iter().max().unwrap(), 8);
+        assert!(q.imbalance() < 1e-9);
+    }
+
+    #[test]
+    fn lpt_is_deterministic() {
+        let w = vec![7, 7, 7, 1, 2, 3];
+        assert_eq!(pack_lpt(&w, 3), pack_lpt(&w, 3));
+    }
+
+    #[test]
+    fn lpt_empty_and_degenerate() {
+        let p = pack_lpt(&[], 3);
+        assert_eq!(p.loads, vec![0, 0, 0]);
+        assert_eq!(p.imbalance(), 0.0);
+        let single = pack_lpt(&[10], 4);
+        assert_eq!(single.loads.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn lpt_zero_bins_panics() {
+        pack_lpt(&[1], 0);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let p = Packing {
+            assignment: vec![],
+            loads: vec![30, 10, 20],
+        };
+        // avg 20, max 30 → 50%.
+        assert!((p.imbalance() - 0.5).abs() < 1e-12);
+    }
+
+    fn sample_candidates() -> Vec<ItemSet> {
+        // First-item histogram: item 0 → 4 candidates, 1 → 2, 2 → 1, 5 → 1.
+        vec![
+            set(&[0, 1]),
+            set(&[0, 2]),
+            set(&[0, 3]),
+            set(&[0, 5]),
+            set(&[1, 2]),
+            set(&[1, 4]),
+            set(&[2, 6]),
+            set(&[5, 6]),
+        ]
+    }
+
+    #[test]
+    fn round_robin_covers_all_candidates() {
+        let cands = sample_candidates();
+        let part = partition_round_robin(&cands, 3);
+        assert_eq!(part.total_candidates(), cands.len());
+        assert_eq!(part.num_procs(), 3);
+        // Round robin: parts have sizes 3, 3, 2.
+        let sizes: Vec<usize> = part.parts.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 3, 2]);
+        assert!(part.filters.iter().all(OwnershipFilter::is_all));
+    }
+
+    #[test]
+    fn first_item_partition_is_exact_and_filtered() {
+        let cands = sample_candidates();
+        let part = partition_by_first_item(&cands, 8, 2);
+        assert_eq!(part.total_candidates(), cands.len());
+        // All candidates with the same first item land on one processor,
+        // and that processor's filter admits the first item.
+        for (proc, cand_list) in part.parts.iter().enumerate() {
+            for c in cand_list {
+                let first = c.first().unwrap();
+                assert!(part.filters[proc].allows_root(first));
+                // No other processor's filter admits it.
+                for (other, f) in part.filters.iter().enumerate() {
+                    if other != proc {
+                        assert!(!f.allows_root(first), "first item owned twice");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_item_partition_balances_weights() {
+        // 100 first items with equal candidate counts pack evenly.
+        let cands: Vec<ItemSet> = (0..100u32).map(|i| set(&[i, i + 100])).collect();
+        let part = partition_by_first_item(&cands, 200, 4);
+        assert!(part.imbalance < 1e-9);
+        for p in &part.parts {
+            assert_eq!(p.len(), 25);
+        }
+    }
+
+    #[test]
+    fn hot_first_item_breaks_single_level_balance() {
+        // One item starts 90% of candidates: single-level packing can't
+        // balance (the paper's motivation for two-level).
+        let mut cands: Vec<ItemSet> = (1..=90u32).map(|s| set(&[0, s])).collect();
+        cands.push(set(&[1, 2]));
+        cands.push(set(&[2, 3]));
+        let single = partition_by_first_item(&cands, 100, 4);
+        assert!(single.imbalance > 1.0, "hot item forces imbalance");
+        let double = partition_two_level(&cands, 100, 4, 10);
+        assert!(
+            double.imbalance < 0.3,
+            "two-level split restores balance, got {}",
+            double.imbalance
+        );
+        assert_eq!(double.total_candidates(), cands.len());
+    }
+
+    #[test]
+    fn two_level_filters_route_correctly() {
+        let mut cands: Vec<ItemSet> = (1..=20u32).map(|s| set(&[0, s])).collect();
+        cands.push(set(&[3, 4]));
+        let part = partition_two_level(&cands, 30, 3, 5);
+        for (proc, cand_list) in part.parts.iter().enumerate() {
+            for c in cand_list {
+                let first = c.first().unwrap();
+                let second = c.second().unwrap();
+                assert!(part.filters[proc].allows_root(first));
+                assert!(part.filters[proc].allows_second(first, second));
+            }
+        }
+        // Each candidate is admitted by exactly one processor's filter.
+        for c in &cands {
+            let owners = part
+                .filters
+                .iter()
+                .filter(|f| {
+                    f.allows_root(c.first().unwrap())
+                        && f.allows_second(c.first().unwrap(), c.second().unwrap())
+                })
+                .count();
+            assert_eq!(owners, 1, "candidate {c} owned by {owners} processors");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size >= 2")]
+    fn two_level_rejects_singletons() {
+        partition_two_level(&[set(&[1])], 10, 2, 1);
+    }
+
+    #[test]
+    fn partition_single_processor() {
+        let cands = sample_candidates();
+        let part = partition_by_first_item(&cands, 8, 1);
+        assert_eq!(part.parts[0].len(), cands.len());
+        assert_eq!(part.imbalance, 0.0);
+    }
+
+    #[test]
+    fn parts_remain_sorted() {
+        // apriori_gen emits sorted candidates; per-part order must stay
+        // sorted because each processor rebuilds its own tree and relies on
+        // deterministic candidate order for reductions.
+        let cands = sample_candidates();
+        for part in [
+            partition_round_robin(&cands, 3),
+            partition_by_first_item(&cands, 8, 3),
+            partition_two_level(&cands, 8, 3, 2),
+        ] {
+            for p in &part.parts {
+                assert!(p.windows(2).all(|w| w[0] < w[1]), "part not sorted: {p:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Dense item bitmaps.
+//!
+//! IDD keeps "the first items of the candidates it has in a bit-map"
+//! (Section III-C) and consults it at the root of the hash tree to skip
+//! starting items whose candidates live on other processors.
+
+use crate::item::Item;
+
+/// A fixed-universe bit set indexed by [`Item`] id.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ItemBitmap {
+    words: Vec<u64>,
+    num_items: u32,
+}
+
+impl ItemBitmap {
+    /// An all-zero bitmap over `0..num_items`.
+    pub fn new(num_items: u32) -> Self {
+        ItemBitmap {
+            words: vec![0; (num_items as usize).div_ceil(64)],
+            num_items,
+        }
+    }
+
+    /// Builds a bitmap with the given items set.
+    pub fn from_items<I: IntoIterator<Item = Item>>(num_items: u32, items: I) -> Self {
+        let mut bm = ItemBitmap::new(num_items);
+        for item in items {
+            bm.insert(item);
+        }
+        bm
+    }
+
+    /// The universe size.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Sets the bit for `item`.
+    ///
+    /// # Panics
+    /// If `item` is outside the universe.
+    pub fn insert(&mut self, item: Item) {
+        assert!(item.id() < self.num_items, "item {item} out of universe");
+        self.words[item.index() / 64] |= 1u64 << (item.index() % 64);
+    }
+
+    /// Clears the bit for `item`.
+    pub fn remove(&mut self, item: Item) {
+        if item.id() < self.num_items {
+            self.words[item.index() / 64] &= !(1u64 << (item.index() % 64));
+        }
+    }
+
+    /// Whether the bit for `item` is set. Items outside the universe are
+    /// never contained.
+    #[inline]
+    pub fn contains(&self, item: Item) -> bool {
+        if item.id() >= self.num_items {
+            return false;
+        }
+        self.words[item.index() / 64] & (1u64 << (item.index() % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the set items in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Item> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                Some(Item((wi * 64) as u32 + bit))
+            })
+        })
+    }
+
+    /// Bitwise OR with another bitmap of the same universe.
+    pub fn union_with(&mut self, other: &ItemBitmap) {
+        assert_eq!(self.num_items, other.num_items, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Whether the two bitmaps share no items.
+    pub fn is_disjoint(&self, other: &ItemBitmap) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Size in bytes when shipped between processors (what broadcasting the
+    /// ownership bitmaps costs in the IDD setup phase).
+    pub fn wire_size(&self) -> usize {
+        8 * self.words.len() + 4
+    }
+}
+
+impl std::fmt::Debug for ItemBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut bm = ItemBitmap::new(130);
+        assert!(bm.is_empty());
+        bm.insert(Item(0));
+        bm.insert(Item(64));
+        bm.insert(Item(129));
+        assert!(bm.contains(Item(0)));
+        assert!(bm.contains(Item(64)));
+        assert!(bm.contains(Item(129)));
+        assert!(!bm.contains(Item(1)));
+        assert_eq!(bm.len(), 3);
+        bm.remove(Item(64));
+        assert!(!bm.contains(Item(64)));
+        assert_eq!(bm.len(), 2);
+    }
+
+    #[test]
+    fn out_of_universe_contains_is_false() {
+        let bm = ItemBitmap::new(10);
+        assert!(!bm.contains(Item(10)));
+        assert!(!bm.contains(Item(1000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn out_of_universe_insert_panics() {
+        ItemBitmap::new(10).insert(Item(10));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let bm = ItemBitmap::from_items(200, [Item(5), Item(190), Item(63), Item(64)]);
+        let items: Vec<u32> = bm.iter().map(Item::id).collect();
+        assert_eq!(items, vec![5, 63, 64, 190]);
+    }
+
+    #[test]
+    fn union_and_disjoint() {
+        let mut a = ItemBitmap::from_items(100, [Item(1), Item(2)]);
+        let b = ItemBitmap::from_items(100, [Item(2), Item(3)]);
+        let c = ItemBitmap::from_items(100, [Item(50)]);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_disjoint(&c));
+        a.union_with(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(Item(3)));
+    }
+
+    #[test]
+    fn wire_size_rounds_to_words() {
+        assert_eq!(ItemBitmap::new(1).wire_size(), 12);
+        assert_eq!(ItemBitmap::new(64).wire_size(), 12);
+        assert_eq!(ItemBitmap::new(65).wire_size(), 20);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let bm = ItemBitmap::new(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.len(), 0);
+        assert_eq!(bm.iter().count(), 0);
+    }
+}

@@ -1,0 +1,523 @@
+//! The candidate hash tree of Section II, with the instrumentation the
+//! paper's analysis (Section IV) and Figure 11 require.
+//!
+//! Internal nodes hold hash tables (fixed fan-out) linking to children;
+//! leaves hold candidate itemsets. Candidates are inserted by hashing
+//! successive items; when a leaf overflows and its depth is still less than
+//! `k`, it splits into an internal node and redistributes its candidates by
+//! the next item. The `subset` operation walks the tree with every item of
+//! a transaction as a possible starting item, recursively hashing the items
+//! that follow, and checks the candidates of each **distinct** leaf it
+//! reaches exactly once per transaction (re-visits are suppressed with an
+//! epoch stamp, as the paper describes: "if this node is revisited due to a
+//! different candidate from the same transaction, no checking needs to be
+//! performed").
+//!
+//! The tree counts its own work — hash-descents (`t_travers` units),
+//! distinct leaf visits (`t_check` units), and per-candidate comparisons —
+//! which is what lets the parallel simulator price computation with the
+//! paper's cost model, and what regenerates Figure 11 directly.
+
+mod filter;
+mod node;
+mod stats;
+
+pub use filter::OwnershipFilter;
+pub use stats::TreeStats;
+
+use crate::itemset::ItemSet;
+use crate::transaction::Transaction;
+use node::Node;
+
+/// Configuration for a [`HashTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashTreeParams {
+    /// Hash-table fan-out of internal nodes (the example of Figure 2 uses 3).
+    pub branching: usize,
+    /// Maximum candidates per leaf before it splits (the paper's "maximum
+    /// allowed"; this controls `S`, the average leaf occupancy, in the
+    /// analysis).
+    pub max_leaf: usize,
+}
+
+impl Default for HashTreeParams {
+    fn default() -> Self {
+        HashTreeParams {
+            branching: 8,
+            max_leaf: 16,
+        }
+    }
+}
+
+/// A candidate hash tree for candidates of a fixed size `k`.
+///
+/// ```
+/// use armine_core::hashtree::{HashTree, HashTreeParams, OwnershipFilter};
+/// use armine_core::{ItemSet, Transaction, Item};
+///
+/// let mut tree = HashTree::build(2, HashTreeParams::default(), vec![
+///     ItemSet::from([1, 2]),
+///     ItemSet::from([2, 5]),
+/// ]);
+/// tree.subset(&Transaction::new(1, vec![Item(1), Item(2), Item(3)]),
+///             &OwnershipFilter::all());
+/// assert_eq!(tree.count_of(&ItemSet::from([1, 2])), Some(1));
+/// assert_eq!(tree.count_of(&ItemSet::from([2, 5])), Some(0));
+/// ```
+pub struct HashTree {
+    k: usize,
+    params: HashTreeParams,
+    candidates: Vec<CandidateSlot>,
+    root: Node,
+    epoch: u64,
+    stats: TreeStats,
+}
+
+/// A candidate and its running support count.
+#[derive(Debug, Clone)]
+struct CandidateSlot {
+    items: ItemSet,
+    count: u64,
+}
+
+impl HashTree {
+    /// An empty tree for size-`k` candidates.
+    ///
+    /// # Panics
+    /// If `k == 0` or the params are degenerate (branching < 2, max_leaf == 0).
+    pub fn new(k: usize, params: HashTreeParams) -> Self {
+        assert!(k >= 1, "candidate size must be at least 1");
+        assert!(params.branching >= 2, "branching must be at least 2");
+        assert!(params.max_leaf >= 1, "max_leaf must be at least 1");
+        HashTree {
+            k,
+            params,
+            candidates: Vec::new(),
+            root: Node::empty_leaf(),
+            epoch: 0,
+            stats: TreeStats::default(),
+        }
+    }
+
+    /// Builds a tree containing all of `candidates` (each must have exactly
+    /// `k` items).
+    pub fn build(k: usize, params: HashTreeParams, candidates: Vec<ItemSet>) -> Self {
+        let mut tree = HashTree::new(k, params);
+        for c in candidates {
+            tree.insert(c);
+        }
+        tree
+    }
+
+    /// The candidate size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of candidates stored (`M` for this processor's tree).
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the tree holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Number of leaf nodes (`L` of the analysis).
+    pub fn num_leaves(&self) -> usize {
+        self.root.count_leaves()
+    }
+
+    /// Average candidates per non-empty leaf (`S` of the analysis).
+    pub fn avg_leaf_occupancy(&self) -> f64 {
+        let (leaves, occupied) = self.root.leaf_occupancy();
+        if occupied == 0 {
+            0.0
+        } else {
+            debug_assert!(leaves >= 1);
+            self.candidates.len() as f64 / occupied as f64
+        }
+    }
+
+    /// Inserts one size-`k` candidate.
+    ///
+    /// # Panics
+    /// If the candidate does not have exactly `k` items.
+    pub fn insert(&mut self, items: ItemSet) {
+        assert_eq!(
+            items.len(),
+            self.k,
+            "candidate {items} has wrong size for a k={} tree",
+            self.k
+        );
+        let id = self.candidates.len() as u32;
+        self.candidates.push(CandidateSlot { items, count: 0 });
+        self.stats.inserts += 1;
+        // `item_at` reveals any candidate's d-th item; the node uses it both
+        // to route the new candidate and to redistribute old ones on splits.
+        let candidates = &self.candidates;
+        self.root
+            .insert(id, 0, self.k, self.params, &mut |cid, depth| {
+                candidates[cid as usize].items.items()[depth]
+            });
+    }
+
+    /// Computes, for one transaction, which candidates it contains and
+    /// bumps their counts: the `subset(C_k, t)` of Figure 1.
+    ///
+    /// `filter` prunes starting items at the root (and optionally second
+    /// items), implementing IDD's bitmap check. Use
+    /// [`OwnershipFilter::all`] for the serial algorithm and CD/DD.
+    pub fn subset(&mut self, t: &Transaction, filter: &OwnershipFilter) {
+        if self.candidates.is_empty() {
+            return;
+        }
+        self.epoch += 1;
+        self.stats.transactions += 1;
+        let items = t.items();
+        if items.len() < self.k {
+            return;
+        }
+        // Split borrows: the recursion needs &mut nodes and &mut candidate
+        // counts simultaneously, so hand the node walk raw parts.
+        let k = self.k;
+        let epoch = self.epoch;
+        Node::subset_walk(
+            &mut self.root,
+            items,
+            0,
+            0,
+            k,
+            epoch,
+            filter,
+            None,
+            &mut self.candidates,
+            &mut self.stats,
+        );
+    }
+
+    /// Runs `subset` for every transaction of a slice.
+    pub fn count_all(&mut self, transactions: &[Transaction], filter: &OwnershipFilter) {
+        for t in transactions {
+            self.subset(t, filter);
+        }
+    }
+
+    /// The support count accumulated for `items`, or `None` if the set was
+    /// never inserted.
+    pub fn count_of(&self, items: &ItemSet) -> Option<u64> {
+        self.candidates
+            .iter()
+            .find(|c| &c.items == items)
+            .map(|c| c.count)
+    }
+
+    /// Iterates over `(candidate, count)` pairs in insertion order.
+    pub fn counts(&self) -> impl Iterator<Item = (&ItemSet, u64)> + '_ {
+        self.candidates.iter().map(|c| (&c.items, c.count))
+    }
+
+    /// The raw count vector, ordered by insertion. This is what CD's global
+    /// reduction sums element-wise across processors (candidate order is
+    /// identical on every processor because `apriori_gen` is deterministic).
+    pub fn count_vector(&self) -> Vec<u64> {
+        self.candidates.iter().map(|c| c.count).collect()
+    }
+
+    /// Overwrites the count vector (after a global reduction delivers the
+    /// summed counts back).
+    ///
+    /// # Panics
+    /// If the length differs from the number of candidates.
+    pub fn set_count_vector(&mut self, counts: &[u64]) {
+        assert_eq!(
+            counts.len(),
+            self.candidates.len(),
+            "count vector length mismatch"
+        );
+        for (slot, &c) in self.candidates.iter_mut().zip(counts) {
+            slot.count = c;
+        }
+    }
+
+    /// Extracts the frequent itemsets: candidates with `count >= min_count`,
+    /// with their counts, in insertion (lexicographic) order.
+    pub fn frequent(&self, min_count: u64) -> Vec<(ItemSet, u64)> {
+        self.candidates
+            .iter()
+            .filter(|c| c.count >= min_count)
+            .map(|c| (c.items.clone(), c.count))
+            .collect()
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// Resets the work counters (not the candidate counts).
+    pub fn reset_stats(&mut self) {
+        self.stats = TreeStats::default();
+    }
+
+    /// Bytes needed to ship every candidate of this tree (4 bytes per item
+    /// plus an 8-byte count), used by communication costing.
+    pub fn wire_size(&self) -> usize {
+        self.candidates.len() * (4 * self.k + 8)
+    }
+}
+
+impl std::fmt::Debug for HashTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashTree")
+            .field("k", &self.k)
+            .field("candidates", &self.candidates.len())
+            .field("leaves", &self.num_leaves())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from(ids)
+    }
+
+    fn tx(ids: &[u32]) -> Transaction {
+        Transaction::new(0, ids.iter().map(|&i| Item(i)).collect())
+    }
+
+    /// The worked example of Figures 2 and 3: branching 3, the fifteen
+    /// 3-candidates of the paper, transaction {1 2 3 5 6}.
+    fn paper_tree() -> HashTree {
+        let cands = [
+            [1, 4, 5],
+            [1, 2, 4],
+            [4, 5, 7],
+            [1, 2, 5],
+            [4, 5, 8],
+            [1, 5, 9],
+            [1, 3, 6],
+            [2, 3, 4],
+            [5, 6, 7],
+            [3, 4, 5],
+            [3, 5, 6],
+            [3, 5, 7],
+            [6, 8, 9],
+            [3, 6, 7],
+            [3, 6, 8],
+        ];
+        HashTree::build(
+            3,
+            HashTreeParams {
+                branching: 3,
+                max_leaf: 3,
+            },
+            cands.iter().map(|c| set(c)).collect(),
+        )
+    }
+
+    /// Brute-force reference: count subset containment directly.
+    fn brute_counts(cands: &[ItemSet], transactions: &[Transaction]) -> Vec<u64> {
+        cands
+            .iter()
+            .map(|c| transactions.iter().filter(|t| t.contains_set(c)).count() as u64)
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_counts_candidates_in_transaction() {
+        let mut tree = paper_tree();
+        tree.subset(&tx(&[1, 2, 3, 5, 6]), &OwnershipFilter::all());
+        // Candidates contained in {1 2 3 5 6}: {1 2 5}, {1 3 6}, {3 5 6}.
+        assert_eq!(tree.count_of(&set(&[1, 2, 5])), Some(1));
+        assert_eq!(tree.count_of(&set(&[1, 3, 6])), Some(1));
+        assert_eq!(tree.count_of(&set(&[3, 5, 6])), Some(1));
+        let total: u64 = tree.counts().map(|(_, c)| c).sum();
+        assert_eq!(total, 3, "exactly three candidates are subsets");
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..20 {
+            let k = 2 + trial % 3;
+            let num_items = 30u32;
+            let mut cands: Vec<ItemSet> = (0..80)
+                .map(|_| {
+                    let mut ids: Vec<u32> = (0..num_items).collect();
+                    ids.shuffle(&mut rng);
+                    set(&ids[..k])
+                })
+                .collect();
+            cands.sort();
+            cands.dedup();
+            let transactions: Vec<Transaction> = (0..60)
+                .map(|tid| {
+                    let len = rng.gen_range(0..=12);
+                    let mut ids: Vec<u32> = (0..num_items).collect();
+                    ids.shuffle(&mut rng);
+                    Transaction::new(tid, ids[..len].iter().map(|&i| Item(i)).collect())
+                })
+                .collect();
+            let mut tree = HashTree::build(
+                k,
+                HashTreeParams {
+                    branching: 3,
+                    max_leaf: 2,
+                },
+                cands.clone(),
+            );
+            tree.count_all(&transactions, &OwnershipFilter::all());
+            let expected = brute_counts(&cands, &transactions);
+            for (c, want) in cands.iter().zip(&expected) {
+                assert_eq!(
+                    tree.count_of(c),
+                    Some(*want),
+                    "k={k} candidate {c} miscounted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_split_keeps_counts_correct() {
+        // Force deep splitting with max_leaf=1.
+        let cands: Vec<ItemSet> = (0..9)
+            .flat_map(|a| (a + 1..10).map(move |b| set(&[a, b])))
+            .collect();
+        let mut tree = HashTree::build(
+            2,
+            HashTreeParams {
+                branching: 2,
+                max_leaf: 1,
+            },
+            cands.clone(),
+        );
+        assert_eq!(tree.num_candidates(), 45);
+        let t = tx(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        tree.subset(&t, &OwnershipFilter::all());
+        for c in &cands {
+            assert_eq!(tree.count_of(c), Some(1));
+        }
+    }
+
+    #[test]
+    fn distinct_leaf_visits_are_counted_once_per_transaction() {
+        let mut tree = paper_tree();
+        tree.subset(&tx(&[1, 2, 3, 5, 6]), &OwnershipFilter::all());
+        let stats = tree.stats();
+        assert_eq!(stats.transactions, 1);
+        assert!(stats.distinct_leaf_visits >= 1);
+        assert!(
+            stats.distinct_leaf_visits <= tree.num_leaves() as u64,
+            "cannot visit more distinct leaves than exist"
+        );
+        // A second identical transaction doubles the visit count exactly:
+        // the epoch stamp resets between transactions.
+        let first = stats.distinct_leaf_visits;
+        tree.subset(&tx(&[1, 2, 3, 5, 6]), &OwnershipFilter::all());
+        assert_eq!(tree.stats().distinct_leaf_visits, 2 * first);
+    }
+
+    #[test]
+    fn bitmap_filter_skips_non_owned_roots() {
+        // Figure 8: processor owns candidates starting with 1, 3, 5 only.
+        let mut owned = paper_tree();
+        let bitmap = crate::ItemBitmap::from_items(10, [Item(1), Item(3), Item(5)]);
+        let filter = OwnershipFilter::first_item(bitmap);
+        let t = tx(&[1, 2, 3, 5, 6]);
+        owned.subset(&t, &filter);
+        // Counting is still correct for owned candidates...
+        assert_eq!(owned.count_of(&set(&[1, 2, 5])), Some(1));
+        assert_eq!(owned.count_of(&set(&[3, 5, 6])), Some(1));
+        // ...and the filtered run does strictly less root work than the
+        // unfiltered one.
+        let filtered_starts = owned.stats().root_starts;
+        let mut unfiltered = paper_tree();
+        unfiltered.subset(&t, &OwnershipFilter::all());
+        assert!(filtered_starts < unfiltered.stats().root_starts);
+    }
+
+    #[test]
+    fn count_vector_roundtrip() {
+        let mut tree = paper_tree();
+        tree.subset(&tx(&[1, 2, 3, 5, 6]), &OwnershipFilter::all());
+        let v = tree.count_vector();
+        assert_eq!(v.len(), 15);
+        let doubled: Vec<u64> = v.iter().map(|c| c * 2).collect();
+        tree.set_count_vector(&doubled);
+        assert_eq!(tree.count_of(&set(&[1, 2, 5])), Some(2));
+    }
+
+    #[test]
+    fn frequent_filters_by_min_count() {
+        let mut tree = paper_tree();
+        for _ in 0..3 {
+            tree.subset(&tx(&[1, 2, 3, 5, 6]), &OwnershipFilter::all());
+        }
+        tree.subset(&tx(&[1, 2, 5]), &OwnershipFilter::all());
+        let f = tree.frequent(4);
+        assert_eq!(f, vec![(set(&[1, 2, 5]), 4)]);
+        let f3 = tree.frequent(3);
+        assert_eq!(f3.len(), 3);
+    }
+
+    #[test]
+    fn short_transaction_counts_nothing() {
+        let mut tree = paper_tree();
+        tree.subset(&tx(&[1, 2]), &OwnershipFilter::all());
+        assert!(tree.counts().all(|(_, c)| c == 0));
+    }
+
+    #[test]
+    fn occupancy_and_leaves() {
+        let tree = paper_tree();
+        assert!(tree.num_leaves() >= 5, "the figure's tree has many leaves");
+        let s = tree.avg_leaf_occupancy();
+        assert!(s > 0.0 && s <= 3.0, "max_leaf=3 bounds occupancy, got {s}");
+    }
+
+    #[test]
+    fn empty_tree_subset_is_noop() {
+        let mut tree = HashTree::new(3, HashTreeParams::default());
+        tree.subset(&tx(&[1, 2, 3]), &OwnershipFilter::all());
+        assert_eq!(tree.stats().transactions, 0);
+        assert_eq!(tree.num_leaves(), 1, "empty root leaf");
+        assert_eq!(tree.avg_leaf_occupancy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn insert_rejects_wrong_arity() {
+        let mut tree = HashTree::new(3, HashTreeParams::default());
+        tree.insert(set(&[1, 2]));
+    }
+
+    #[test]
+    fn k1_tree_works() {
+        let mut tree = HashTree::build(
+            1,
+            HashTreeParams {
+                branching: 2,
+                max_leaf: 1,
+            },
+            vec![set(&[0]), set(&[1]), set(&[2]), set(&[3])],
+        );
+        tree.subset(&tx(&[1, 3]), &OwnershipFilter::all());
+        assert_eq!(tree.count_of(&set(&[1])), Some(1));
+        assert_eq!(tree.count_of(&set(&[0])), Some(0));
+        assert_eq!(tree.count_of(&set(&[3])), Some(1));
+    }
+
+    #[test]
+    fn wire_size_scales_with_candidates() {
+        let tree = paper_tree();
+        assert_eq!(tree.wire_size(), 15 * (12 + 8));
+    }
+}

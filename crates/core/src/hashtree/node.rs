@@ -1,0 +1,190 @@
+//! Hash-tree nodes: hash-table internal nodes and candidate leaves.
+
+use super::filter::OwnershipFilter;
+use super::stats::TreeStats;
+use super::{CandidateSlot, HashTreeParams};
+use crate::item::Item;
+
+/// The hash function of the tree: items are hashed on their integer value
+/// (Figure 2 uses `mod 3`: buckets {1,4,7}, {2,5,8}, {3,6,9}).
+#[inline]
+pub(super) fn hash(item: Item, branching: usize) -> usize {
+    item.index() % branching
+}
+
+pub(super) enum Node {
+    /// Internal node: a hash table of `branching` child links.
+    Interior { children: Vec<Option<Box<Node>>> },
+    /// Leaf node: candidate ids plus the epoch of the last transaction that
+    /// checked this leaf (the revisit-suppression stamp).
+    Leaf { cands: Vec<u32>, last_epoch: u64 },
+}
+
+impl Node {
+    pub(super) fn empty_leaf() -> Node {
+        Node::Leaf {
+            cands: Vec::new(),
+            last_epoch: 0,
+        }
+    }
+
+    /// Inserts candidate `id` into the subtree rooted here. `item_at(id, d)`
+    /// reveals the `d`-th item of any candidate, which both routes the new
+    /// candidate and redistributes existing ones when a leaf splits.
+    pub(super) fn insert(
+        &mut self,
+        id: u32,
+        depth: usize,
+        k: usize,
+        params: HashTreeParams,
+        item_at: &mut dyn FnMut(u32, usize) -> Item,
+    ) {
+        match self {
+            Node::Interior { children } => {
+                let h = hash(item_at(id, depth), params.branching);
+                children[h]
+                    .get_or_insert_with(|| Box::new(Node::empty_leaf()))
+                    .insert(id, depth + 1, k, params, item_at);
+            }
+            Node::Leaf { cands, .. } => {
+                cands.push(id);
+                // Split when over-full, unless already at full depth `k`
+                // (all k items consumed; hashing further is impossible).
+                if cands.len() > params.max_leaf && depth < k {
+                    let moved = std::mem::take(cands);
+                    *self = Node::Interior {
+                        children: (0..params.branching).map(|_| None).collect(),
+                    };
+                    for cid in moved {
+                        self.insert(cid, depth, k, params, item_at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total number of leaf nodes in this subtree.
+    pub(super) fn count_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Interior { children } => {
+                children.iter().flatten().map(|c| c.count_leaves()).sum()
+            }
+        }
+    }
+
+    /// `(total leaves, non-empty leaves)` in this subtree.
+    pub(super) fn leaf_occupancy(&self) -> (usize, usize) {
+        match self {
+            Node::Leaf { cands, .. } => (1, usize::from(!cands.is_empty())),
+            Node::Interior { children } => children.iter().flatten().fold((0, 0), |(tl, to), c| {
+                let (l, o) = c.leaf_occupancy();
+                (tl + l, to + o)
+            }),
+        }
+    }
+
+    /// The recursive subset operation of Section II. `titems` is the whole
+    /// (sorted) transaction; `start` is the index from which the next item
+    /// of a candidate path may be drawn; `depth` is how many items the
+    /// current path has consumed. Counts are updated in `candidates`, work
+    /// counters in `stats`.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn subset_walk(
+        node: &mut Node,
+        titems: &[Item],
+        start: usize,
+        depth: usize,
+        k: usize,
+        epoch: u64,
+        filter: &OwnershipFilter,
+        path_first: Option<Item>,
+        candidates: &mut [CandidateSlot],
+        stats: &mut TreeStats,
+    ) {
+        match node {
+            Node::Leaf { cands, last_epoch } => {
+                // Check each candidate of this leaf against the whole
+                // transaction — but only on the first arrival per
+                // transaction (the epoch stamp makes revisits free).
+                if *last_epoch == epoch {
+                    return;
+                }
+                *last_epoch = epoch;
+                stats.distinct_leaf_visits += 1;
+                for &cid in cands.iter() {
+                    stats.candidate_checks += 1;
+                    let slot = &mut candidates[cid as usize];
+                    if slot.items.is_subset_of_items(titems) {
+                        slot.count += 1;
+                    }
+                }
+            }
+            Node::Interior { children } => {
+                // A candidate needs k - depth more items, so the last viable
+                // starting position leaves at least that many behind.
+                let needed = k - depth;
+                if titems.len() < needed {
+                    return;
+                }
+                let last = titems.len() - needed;
+                for p in start..=last {
+                    let item = titems[p];
+                    if depth == 0 {
+                        // IDD's bitmap check at the root: skip starting
+                        // items whose candidates live on other processors.
+                        if !filter.allows_root(item) {
+                            continue;
+                        }
+                        stats.root_starts += 1;
+                    } else if depth == 1 {
+                        if let Some(first) = path_first {
+                            if !filter.allows_second(first, item) {
+                                continue;
+                            }
+                        }
+                    }
+                    let h = hash(item, children.len());
+                    if let Some(child) = children[h].as_deref_mut() {
+                        stats.traversal_steps += 1;
+                        let first = if depth == 0 { Some(item) } else { path_first };
+                        Node::subset_walk(
+                            child,
+                            titems,
+                            p + 1,
+                            depth + 1,
+                            k,
+                            epoch,
+                            filter,
+                            first,
+                            candidates,
+                            stats,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_matches_paper_buckets() {
+        // Figure 2's hash function groups {1,4,7}, {2,5,8}, {3,6,9} mod 3.
+        assert_eq!(hash(Item(1), 3), hash(Item(4), 3));
+        assert_eq!(hash(Item(4), 3), hash(Item(7), 3));
+        assert_eq!(hash(Item(2), 3), hash(Item(5), 3));
+        assert_ne!(hash(Item(1), 3), hash(Item(2), 3));
+        assert_ne!(hash(Item(2), 3), hash(Item(3), 3));
+    }
+
+    #[test]
+    fn empty_leaf_counts() {
+        let leaf = Node::empty_leaf();
+        assert_eq!(leaf.count_leaves(), 1);
+        assert_eq!(leaf.leaf_occupancy(), (1, 0));
+    }
+}

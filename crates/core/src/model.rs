@@ -1,0 +1,389 @@
+//! The analytical performance model of Section IV.
+//!
+//! The centerpiece is `V(i, j)` — the expected number of **distinct** leaf
+//! nodes a transaction with `i` potential candidates visits in a hash tree
+//! with `j` leaves (Equation 1):
+//!
+//! ```text
+//! V(1, j) = 1
+//! V(i, j) = 1 + (j-1)/j · V(i-1, j)  =  (jⁱ - (j-1)ⁱ) / jⁱ⁻¹
+//! ```
+//!
+//! with the limit `V(i, j) → i` as `j → ∞` (Equation 2): when the tree is
+//! much larger than the number of potential candidates, every potential
+//! candidate lands in its own leaf. This asymmetry — `V(C, L/P) > V(C, L)/P`
+//! — is exactly the redundant work DD performs and IDD eliminates, and it
+//! is what Figure 11 measures.
+//!
+//! The per-algorithm runtime equations (3–7) and the HD `G` window
+//! (Equation 8) are provided for analysis and for cross-checking the
+//! simulator's measured curves against the paper's closed forms.
+
+/// Expected number of distinct leaves visited: `V(i, j)` of Equation 1.
+///
+/// `i` is the number of potential candidates of the transaction
+/// (`C = (|t| choose k)`), `j` the number of leaves in the hash tree
+/// (`L = M/S`). Returns 0 when either argument is 0.
+pub fn expected_distinct_leaves(i: f64, j: f64) -> f64 {
+    if i <= 0.0 || j <= 0.0 {
+        return 0.0;
+    }
+    // j · (1 - (1 - 1/j)^i): numerically stable form of (jⁱ-(j-1)ⁱ)/jⁱ⁻¹,
+    // computed as j · (-expm1(i · ln(1 - 1/j))).
+    let log_ratio = (-1.0 / j).ln_1p(); // ln(1 - 1/j) ≤ 0
+    j * -((i * log_ratio).exp_m1())
+}
+
+/// Machine and algorithm constants for the closed-form runtimes.
+///
+/// Time unit is seconds. The communication constants for the paper's two
+/// testbeds are provided by [`CostParams::cray_t3e`] and
+/// [`CostParams::ibm_sp2`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Cost of one hash-tree descent per potential candidate (`t_travers`).
+    pub t_travers: f64,
+    /// Cost of checking the candidates of one leaf (`t_check`).
+    pub t_check: f64,
+    /// Cost of inserting one candidate during tree construction.
+    pub t_insert: f64,
+    /// Message startup latency (`t_s`).
+    pub t_s: f64,
+    /// Per-byte transfer time (`t_w`).
+    pub t_w: f64,
+    /// Wire bytes per transaction (id + length + items).
+    pub bytes_per_transaction: f64,
+    /// Wire bytes per candidate count entry in reductions/broadcasts.
+    pub bytes_per_candidate: f64,
+    /// Extra cost per transaction-byte re-read when the hash tree is
+    /// partitioned and the database is scanned again (0 when I/O is
+    /// simulated from memory, as the paper does on the T3E).
+    pub io_per_byte: f64,
+}
+
+impl CostParams {
+    /// Constants approximating the paper's Cray T3E: 303 MB/s effective
+    /// bandwidth, 16 µs message startup, 600 MHz Alpha EV5 compute.
+    pub fn cray_t3e() -> Self {
+        CostParams {
+            t_travers: 60e-9,
+            t_check: 500e-9,
+            t_insert: 400e-9,
+            t_s: 16e-6,
+            t_w: 1.0 / 303e6,
+            bytes_per_transaction: 12.0 + 4.0 * 15.0, // avg |t| = 15
+            bytes_per_candidate: 8.0,
+            io_per_byte: 0.0,
+        }
+    }
+
+    /// Constants approximating the paper's IBM SP2: 110 MB/s HPS peak
+    /// (~35 MB/s effective), 66.7 MHz Power2 compute (≈9× slower per op
+    /// than the T3E's Alpha), disk-resident database.
+    pub fn ibm_sp2() -> Self {
+        CostParams {
+            t_travers: 540e-9,
+            t_check: 4.5e-6,
+            t_insert: 3.6e-6,
+            t_s: 40e-6,
+            t_w: 1.0 / 35e6,
+            bytes_per_transaction: 12.0 + 4.0 * 15.0,
+            bytes_per_candidate: 8.0,
+            io_per_byte: 1.0 / 20e6, // ~20 MB/s sustained disk scan
+        }
+    }
+}
+
+/// The workload of one pass, in the symbols of Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Total number of transactions (`N`).
+    pub n: f64,
+    /// Total number of candidates (`M`).
+    pub m: f64,
+    /// Average potential candidates per transaction (`C = (I choose k)`).
+    pub c: f64,
+    /// Average candidates per leaf (`S`).
+    pub s: f64,
+}
+
+impl Workload {
+    /// Average leaves in the full serial hash tree (`L = M/S`).
+    pub fn leaves(&self) -> f64 {
+        if self.s <= 0.0 {
+            0.0
+        } else {
+            self.m / self.s
+        }
+    }
+}
+
+/// Equation 3: serial Apriori runtime
+/// `N·C·t_travers + N·V(C,L)·t_check + O(M)`.
+pub fn serial_time(w: &Workload, p: &CostParams) -> f64 {
+    let l = w.leaves();
+    w.n * w.c * p.t_travers + w.n * expected_distinct_leaves(w.c, l) * p.t_check + w.m * p.t_insert
+}
+
+/// Equation 4: CD per-processor runtime. Each processor builds the *whole*
+/// tree (O(M)), counts N/P transactions over it, then pays an O(M) global
+/// reduction.
+pub fn cd_time(w: &Workload, procs: f64, p: &CostParams) -> f64 {
+    let l = w.leaves();
+    w.n / procs * w.c * p.t_travers
+        + w.n / procs * expected_distinct_leaves(w.c, l) * p.t_check
+        + w.m * p.t_insert
+        + w.m * p.bytes_per_candidate * p.t_w // global reduction, O(M)
+}
+
+/// Equation 5: DD per-processor runtime. All N transactions pass through a
+/// tree of M/P candidates (L/P leaves): traversal work is NOT reduced, leaf
+/// checking is reduced by less than P, and O(N) data movement is added.
+pub fn dd_time(w: &Workload, procs: f64, p: &CostParams) -> f64 {
+    let l = w.leaves();
+    w.n * w.c * p.t_travers
+        + w.n * expected_distinct_leaves(w.c, l / procs) * p.t_check
+        + w.m / procs * p.t_insert
+        + w.n * p.bytes_per_transaction * p.t_w // data movement, O(N)
+}
+
+/// Equation 6: IDD per-processor runtime. The bitmap filter cuts potential
+/// candidates to C/P, so both traversal and leaf checking scale down
+/// linearly; data movement stays O(N).
+pub fn idd_time(w: &Workload, procs: f64, p: &CostParams) -> f64 {
+    let l = w.leaves();
+    w.n * w.c / procs * p.t_travers
+        + w.n * expected_distinct_leaves(w.c / procs, l / procs) * p.t_check
+        + w.m / procs * p.t_insert
+        + w.n * p.bytes_per_transaction * p.t_w
+}
+
+/// Equation 7: HD per-processor runtime with `G` candidate partitions
+/// (grid of G rows × P/G columns). Each processor handles G·N/P
+/// transactions against a tree of M/G candidates, moves G·N/P transaction
+/// data, and reduces O(M/G) counts.
+pub fn hd_time(w: &Workload, procs: f64, g: f64, p: &CostParams) -> f64 {
+    let l = w.leaves();
+    let g = g.clamp(1.0, procs);
+    g * w.n / procs * (w.c / g) * p.t_travers
+        + g * w.n / procs * expected_distinct_leaves(w.c / g, l / g) * p.t_check
+        + w.m / g * p.t_insert
+        + g * w.n / procs * p.bytes_per_transaction * p.t_w
+        + w.m / g * p.bytes_per_candidate * p.t_w
+}
+
+/// Equation 8: the open interval of `G` values for which HD beats CD,
+/// `1 < G < O(M·P/N)`. Returns `None` when the window is empty (CD is
+/// already optimal, i.e. HD should choose G = 1 and *be* CD).
+pub fn hd_beats_cd_window(m: f64, n: f64, procs: f64) -> Option<(f64, f64)> {
+    let upper = m * procs / n;
+    (upper > 1.0).then_some((1.0, upper))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Monte-Carlo estimate of V(i, j): throw i balls into j bins uniformly
+    /// and count occupied bins.
+    fn monte_carlo_v(i: usize, j: usize, trials: usize, seed: u64) -> f64 {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut total = 0usize;
+        let mut seen = vec![0u32; j];
+        for trial in 1..=trials as u32 {
+            for _ in 0..i {
+                seen[rng.gen_range(0..j)] = trial;
+            }
+            total += seen.iter().filter(|&&s| s == trial).count();
+        }
+        total as f64 / trials as f64
+    }
+
+    #[test]
+    fn v_base_cases() {
+        assert_eq!(expected_distinct_leaves(0.0, 10.0), 0.0);
+        assert_eq!(expected_distinct_leaves(5.0, 0.0), 0.0);
+        assert!(
+            (expected_distinct_leaves(1.0, 7.0) - 1.0).abs() < 1e-9,
+            "V(1,j) = 1"
+        );
+    }
+
+    #[test]
+    fn v_matches_recurrence() {
+        // V(i,j) = 1 + (j-1)/j · V(i-1,j), checked for a grid of values.
+        for j in [2.0, 5.0, 50.0, 1000.0] {
+            let mut v = 1.0;
+            for i in 2..=30 {
+                v = 1.0 + (j - 1.0) / j * v;
+                let closed = expected_distinct_leaves(i as f64, j);
+                assert!(
+                    (closed - v).abs() < 1e-6 * v,
+                    "V({i},{j}): closed {closed} vs recurrence {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v_limit_is_i_for_large_j() {
+        // Equation 2: lim_{j→∞} V(i,j) = i.
+        let v = expected_distinct_leaves(20.0, 1e9);
+        assert!((v - 20.0).abs() < 1e-5, "got {v}");
+    }
+
+    #[test]
+    fn v_bounded_by_min_i_j() {
+        for &(i, j) in &[(3.0, 10.0), (100.0, 7.0), (50.0, 50.0)] {
+            let v = expected_distinct_leaves(i, j);
+            assert!(v <= i.min(j) + 1e-9, "V({i},{j}) = {v} exceeds min(i,j)");
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn v_monotone_in_both_arguments() {
+        let mut prev = 0.0;
+        for i in 1..=40 {
+            let v = expected_distinct_leaves(i as f64, 25.0);
+            assert!(v > prev, "V must increase with i");
+            prev = v;
+        }
+        let mut prev = 0.0;
+        for j in 1..=40 {
+            let v = expected_distinct_leaves(25.0, j as f64);
+            assert!(v > prev, "V must increase with j");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn v_matches_monte_carlo() {
+        for &(i, j) in &[(10usize, 8usize), (30, 100), (100, 20)] {
+            let closed = expected_distinct_leaves(i as f64, j as f64);
+            let mc = monte_carlo_v(i, j, 4000, 42);
+            let rel = (closed - mc).abs() / closed;
+            assert!(rel < 0.03, "V({i},{j}): closed {closed}, MC {mc}");
+        }
+    }
+
+    #[test]
+    fn dd_redundancy_v_asymmetry() {
+        // The heart of the DD critique: V(C, L/P) > V(C, L)/P.
+        let (c, l, p) = (500.0, 10_000.0, 16.0);
+        let dd_checks = expected_distinct_leaves(c, l / p);
+        let fair_share = expected_distinct_leaves(c, l) / p;
+        assert!(
+            dd_checks > 2.0 * fair_share,
+            "DD leaf checking should be far above the fair share: {dd_checks} vs {fair_share}"
+        );
+        // And IDD's V(C/P, L/P) is close to the fair share.
+        let idd_checks = expected_distinct_leaves(c / p, l / p);
+        assert!(idd_checks < 1.2 * fair_share);
+    }
+
+    fn paper_workload() -> Workload {
+        Workload {
+            n: 1_000_000.0,
+            m: 700_000.0,
+            c: 455.0, // (15 choose 3)
+            s: 16.0,
+        }
+    }
+
+    #[test]
+    fn cd_scales_in_n_but_not_m() {
+        let p = CostParams::cray_t3e();
+        let w = paper_workload();
+        let t16 = cd_time(&w, 16.0, &p);
+        let t64 = cd_time(&w, 64.0, &p);
+        assert!(t64 < t16, "more processors, less time");
+        // Per-processor efficiency in N: doubling N roughly doubles time.
+        let mut w2 = w;
+        w2.n *= 2.0;
+        let t64_2n = cd_time(&w2, 64.0, &p);
+        assert!(t64_2n > 1.7 * t64 && t64_2n < 2.3 * t64);
+        // But the O(M) term does not parallelize: with M scaled 10x and N
+        // tiny, time approaches 10x the tree cost regardless of P.
+        let mut wm = w;
+        wm.n = 1000.0;
+        wm.m *= 10.0;
+        assert!(cd_time(&wm, 64.0, &p) > 5.0 * cd_time(&w, 64.0, &p) * 0.1);
+    }
+
+    #[test]
+    fn dd_slower_than_idd_slower_than_serial_per_processor_work() {
+        let p = CostParams::cray_t3e();
+        let w = paper_workload();
+        let procs = 32.0;
+        let serial = serial_time(&w, &p);
+        let dd = dd_time(&w, procs, &p);
+        let idd = idd_time(&w, procs, &p);
+        assert!(idd < dd, "IDD strictly improves on DD");
+        // IDD achieves near-linear speedup on computation; DD does not.
+        assert!(serial / idd > 0.5 * procs);
+        assert!(serial / dd < 0.3 * procs);
+    }
+
+    #[test]
+    fn hd_interpolates_cd_and_idd() {
+        let p = CostParams::cray_t3e();
+        let w = paper_workload();
+        let procs = 64.0;
+        // G = 1 reduces to CD's compute profile (plus negligible extras).
+        let hd1 = hd_time(&w, procs, 1.0, &p);
+        let cd = cd_time(&w, procs, &p);
+        assert!((hd1 - cd).abs() / cd < 0.05, "HD(G=1) ≈ CD: {hd1} vs {cd}");
+        // G = P reduces to IDD.
+        let hdp = hd_time(&w, procs, procs, &p);
+        let idd = idd_time(&w, procs, &p);
+        assert!(
+            (hdp - idd).abs() / idd < 0.05,
+            "HD(G=P) ≈ IDD: {hdp} vs {idd}"
+        );
+    }
+
+    #[test]
+    fn hd_window_matches_equation_8() {
+        // M relatively large vs N: wide window.
+        let win = hd_beats_cd_window(8e6, 1.3e6, 64.0).unwrap();
+        assert!(win.1 > 100.0);
+        // N very large compared to M·P: no window; HD should pick G=1 (=CD).
+        assert!(hd_beats_cd_window(1e4, 1e9, 16.0).is_none());
+    }
+
+    #[test]
+    fn hd_optimal_g_grows_with_m() {
+        let p = CostParams::cray_t3e();
+        let procs = 64.0;
+        let best_g = |m: f64| -> f64 {
+            let w = Workload {
+                n: 1.3e6,
+                m,
+                c: 455.0,
+                s: 16.0,
+            };
+            let mut best = (f64::INFINITY, 1.0);
+            for g in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+                let t = hd_time(&w, procs, g, &p);
+                if t < best.0 {
+                    best = (t, g);
+                }
+            }
+            best.1
+        };
+        assert!(
+            best_g(8e6) >= best_g(7e5),
+            "larger candidate sets favour more candidate partitions"
+        );
+    }
+
+    #[test]
+    fn workload_leaves() {
+        let w = paper_workload();
+        assert!((w.leaves() - 43750.0).abs() < 1e-9);
+        let degenerate = Workload { s: 0.0, ..w };
+        assert_eq!(degenerate.leaves(), 0.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Association-rule generation — the second step of rule discovery.
+//!
+//! The paper focuses on the (expensive) frequent-itemset step and calls the
+//! rule step "straightforward"; we implement it anyway so the library is a
+//! complete rule miner. The algorithm is `ap-genrules` of Agrawal &
+//! Srikant: for each frequent itemset `f`, grow confident consequents
+//! level-wise, pruning with the fact that if `f\Y ⟹ Y` fails the confidence
+//! bar, so does `f\Y' ⟹ Y'` for every `Y' ⊇ Y`.
+
+use crate::apriori::{apriori_gen, FrequentItemsets};
+use crate::itemset::ItemSet;
+
+/// An association rule `X ⟹ Y` with its measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The antecedent `X`.
+    pub antecedent: ItemSet,
+    /// The consequent `Y` (disjoint from `X`).
+    pub consequent: ItemSet,
+    /// σ(X ∪ Y): how many transactions contain the whole rule.
+    pub support_count: u64,
+    /// Relative support `σ(X ∪ Y)/|T|`.
+    pub support: f64,
+    /// Confidence `σ(X ∪ Y)/σ(X)`.
+    pub confidence: f64,
+    /// Relative support of the antecedent, `σ(X)/|T|`.
+    pub antecedent_support: f64,
+    /// Relative support of the consequent, `σ(Y)/|T|`.
+    pub consequent_support: f64,
+}
+
+impl Rule {
+    /// Lift: `conf(X⟹Y) / supp(Y)` — how much more often X and Y co-occur
+    /// than if independent. 1.0 means independence; > 1 positive
+    /// association.
+    pub fn lift(&self) -> f64 {
+        self.confidence / self.consequent_support
+    }
+
+    /// Leverage (Piatetsky-Shapiro): `supp(X∪Y) − supp(X)·supp(Y)`.
+    pub fn leverage(&self) -> f64 {
+        self.support - self.antecedent_support * self.consequent_support
+    }
+
+    /// Conviction: `(1 − supp(Y)) / (1 − conf)`; ∞ for exact implications.
+    pub fn conviction(&self) -> f64 {
+        let denom = 1.0 - self.confidence;
+        if denom <= 0.0 {
+            f64::INFINITY
+        } else {
+            (1.0 - self.consequent_support) / denom
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} => {} (sup {:.1}%, conf {:.1}%)",
+            self.antecedent,
+            self.consequent,
+            self.support * 100.0,
+            self.confidence * 100.0
+        )
+    }
+}
+
+/// Generates every rule meeting `min_confidence` from the frequent-itemset
+/// lattice. Rules are emitted for all itemsets of size ≥ 2; both sides are
+/// non-empty. Output order: by itemset (lexicographic, smaller sizes
+/// first), then by consequent size, then lexicographic consequent.
+///
+/// ```
+/// use armine_core::apriori::{Apriori, AprioriParams};
+/// use armine_core::rules::generate_rules;
+/// use armine_core::{Transaction, Item};
+///
+/// let db: Vec<Transaction> = (0..4)
+///     .map(|t| Transaction::new(t, vec![Item(1), Item(2)]))
+///     .collect();
+/// let run = Apriori::new(AprioriParams::with_min_support_count(3)).mine(&db);
+/// let rules = generate_rules(&run.frequent, 0.9);
+/// assert_eq!(rules.len(), 2, "{{1}}=>{{2}} and {{2}}=>{{1}}");
+/// assert!(rules.iter().all(|r| r.confidence == 1.0));
+/// ```
+pub fn generate_rules(frequent: &FrequentItemsets, min_confidence: f64) -> Vec<Rule> {
+    assert!(
+        (0.0..=1.0).contains(&min_confidence),
+        "confidence must be a fraction, got {min_confidence}"
+    );
+    let n = frequent.num_transactions().max(1) as f64;
+    let mut rules = Vec::new();
+    for size in 2..=frequent.max_len() {
+        for (itemset, count) in frequent.level(size) {
+            grow_rules(frequent, itemset, *count, min_confidence, n, &mut rules);
+        }
+    }
+    rules
+}
+
+/// Generates the rules of a **single** frequent itemset (level-wise
+/// consequent growth). This is the unit of work the parallel rule
+/// generator distributes: each processor takes a share of the frequent
+/// itemsets and calls this on each.
+pub fn rules_for_itemset(
+    frequent: &FrequentItemsets,
+    itemset: &ItemSet,
+    min_confidence: f64,
+) -> Vec<Rule> {
+    let n = frequent.num_transactions().max(1) as f64;
+    let count = match frequent.support(itemset) {
+        Some(c) => c,
+        None => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    if itemset.len() >= 2 {
+        grow_rules(frequent, itemset, count, min_confidence, n, &mut out);
+    }
+    out
+}
+
+/// Level-wise consequent growth for one frequent itemset.
+fn grow_rules(
+    frequent: &FrequentItemsets,
+    itemset: &ItemSet,
+    count: u64,
+    min_confidence: f64,
+    n: f64,
+    out: &mut Vec<Rule>,
+) {
+    // Level 1: single-item consequents.
+    let mut consequents: Vec<ItemSet> = Vec::new();
+    for item in itemset {
+        let consequent = ItemSet::singleton(item);
+        if let Some(rule) = try_rule(frequent, itemset, &consequent, count, min_confidence, n) {
+            out.push(rule);
+            consequents.push(consequent);
+        }
+    }
+    // Levels 2..: join surviving consequents, Apriori-style. A consequent
+    // can have at most |itemset| - 1 items (the antecedent is non-empty).
+    while !consequents.is_empty() && consequents[0].len() + 1 < itemset.len() {
+        consequents.sort();
+        consequents.dedup();
+        let next = apriori_gen(&consequents);
+        consequents = next
+            .into_iter()
+            .filter_map(|consequent| {
+                let rule = try_rule(frequent, itemset, &consequent, count, min_confidence, n)?;
+                out.push(rule);
+                Some(consequent)
+            })
+            .collect();
+    }
+}
+
+/// Builds the rule `itemset\consequent ⟹ consequent` if it clears the
+/// confidence bar.
+fn try_rule(
+    frequent: &FrequentItemsets,
+    itemset: &ItemSet,
+    consequent: &ItemSet,
+    count: u64,
+    min_confidence: f64,
+    n: f64,
+) -> Option<Rule> {
+    let antecedent = itemset.difference(consequent);
+    debug_assert!(!antecedent.is_empty());
+    // The antecedent is a subset of a frequent set, hence frequent itself.
+    let antecedent_count = frequent
+        .support(&antecedent)
+        .expect("antecedent of a frequent itemset must be frequent");
+    let consequent_count = frequent
+        .support(consequent)
+        .expect("consequent of a frequent itemset must be frequent");
+    let confidence = count as f64 / antecedent_count as f64;
+    (confidence >= min_confidence).then(|| Rule {
+        antecedent,
+        consequent: consequent.clone(),
+        support_count: count,
+        support: count as f64 / n,
+        confidence,
+        antecedent_support: antecedent_count as f64 / n,
+        consequent_support: consequent_count as f64 / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{Apriori, AprioriParams};
+    use crate::dataset::Dataset;
+    use crate::item::Item;
+    use crate::transaction::Transaction;
+
+    fn table1() -> Dataset {
+        Dataset::from_named_transactions(&[
+            &["Bread", "Coke", "Milk"],
+            &["Beer", "Bread"],
+            &["Beer", "Coke", "Diaper", "Milk"],
+            &["Beer", "Bread", "Diaper", "Milk"],
+            &["Coke", "Diaper", "Milk"],
+        ])
+    }
+
+    /// The paper's Section II example: {Diaper, Milk} ⟹ {Beer} has
+    /// support 40% and confidence 66%.
+    #[test]
+    fn paper_example_rule_measures() {
+        let d = table1();
+        let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(d.transactions());
+        let rules = generate_rules(&run.frequent, 0.5);
+        let dm = d.itemset(&["Diaper", "Milk"]).unwrap();
+        let beer = d.itemset(&["Beer"]).unwrap();
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == dm && r.consequent == beer)
+            .expect("rule {Diaper, Milk} => {Beer} must be generated");
+        assert!((rule.support - 0.4).abs() < 1e-12, "support 40%");
+        assert!(
+            (rule.confidence - 2.0 / 3.0).abs() < 1e-12,
+            "confidence 66%"
+        );
+        assert_eq!(rule.support_count, 2);
+    }
+
+    #[test]
+    fn all_rules_meet_confidence_and_are_valid() {
+        let d = table1();
+        let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(d.transactions());
+        let rules = generate_rules(&run.frequent, 0.6);
+        assert!(!rules.is_empty());
+        for r in &rules {
+            assert!(r.confidence >= 0.6);
+            assert!(r.confidence <= 1.0 + 1e-12);
+            assert!(!r.antecedent.is_empty());
+            assert!(!r.consequent.is_empty());
+            // Sides are disjoint and their union is frequent with the
+            // recorded count.
+            let union = r.antecedent.union(&r.consequent);
+            assert_eq!(union.len(), r.antecedent.len() + r.consequent.len());
+            assert_eq!(run.frequent.support(&union), Some(r.support_count));
+        }
+    }
+
+    #[test]
+    fn rules_match_brute_force_enumeration() {
+        let d = table1();
+        let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(d.transactions());
+        let min_conf = 0.55;
+        let got = generate_rules(&run.frequent, min_conf);
+        // Brute force: for every frequent itemset of size >= 2, try every
+        // non-trivial bipartition.
+        let mut want = 0usize;
+        for size in 2..=run.frequent.max_len() {
+            for (itemset, count) in run.frequent.level(size) {
+                let items = itemset.items();
+                for mask in 1u32..(1 << items.len()) - 1 {
+                    let consequent: Vec<Item> = (0..items.len())
+                        .filter(|&i| mask & (1 << i) != 0)
+                        .map(|i| items[i])
+                        .collect();
+                    let consequent = ItemSet::from_sorted(consequent);
+                    let antecedent = itemset.difference(&consequent);
+                    let ac = run.frequent.support(&antecedent).unwrap();
+                    if *count as f64 / ac as f64 >= min_conf {
+                        want += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn higher_confidence_yields_fewer_rules() {
+        let d = table1();
+        let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(d.transactions());
+        let loose = generate_rules(&run.frequent, 0.0);
+        let tight = generate_rules(&run.frequent, 0.9);
+        assert!(tight.len() <= loose.len());
+    }
+
+    #[test]
+    fn confidence_one_rules_are_exact_implications() {
+        let transactions: Vec<Transaction> = (0..10)
+            .map(|tid| {
+                // Item 1 always implies item 2.
+                if tid % 2 == 0 {
+                    Transaction::new(tid, vec![Item(1), Item(2)])
+                } else {
+                    Transaction::new(tid, vec![Item(2), Item(3)])
+                }
+            })
+            .collect();
+        let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(&transactions);
+        let rules = generate_rules(&run.frequent, 1.0);
+        assert!(rules
+            .iter()
+            .any(|r| r.antecedent == ItemSet::from([1]) && r.consequent == ItemSet::from([2])));
+        // And nothing below confidence 1.0 sneaks in.
+        for r in &rules {
+            assert!(r.confidence >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn interest_measures_on_the_paper_rule() {
+        // {Diaper, Milk} => {Beer}: supp 2/5, conf 2/3, supp(X)=3/5,
+        // supp(Y)=3/5.
+        let d = table1();
+        let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(d.transactions());
+        let rules = generate_rules(&run.frequent, 0.5);
+        let dm = d.itemset(&["Diaper", "Milk"]).unwrap();
+        let beer = d.itemset(&["Beer"]).unwrap();
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == dm && r.consequent == beer)
+            .unwrap();
+        assert!((r.antecedent_support - 0.6).abs() < 1e-12);
+        assert!((r.consequent_support - 0.6).abs() < 1e-12);
+        // lift = (2/3) / (3/5) = 10/9.
+        assert!((r.lift() - 10.0 / 9.0).abs() < 1e-12);
+        // leverage = 2/5 - (3/5)(3/5) = 0.04.
+        assert!((r.leverage() - 0.04).abs() < 1e-12);
+        // conviction = (1 - 0.6) / (1 - 2/3) = 1.2.
+        assert!((r.conviction() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conviction_of_exact_implication_is_infinite() {
+        let r = Rule {
+            antecedent: ItemSet::from([1]),
+            consequent: ItemSet::from([2]),
+            support_count: 5,
+            support: 0.5,
+            confidence: 1.0,
+            antecedent_support: 0.5,
+            consequent_support: 0.7,
+        };
+        assert!(r.conviction().is_infinite());
+        assert!(r.lift() > 1.0);
+    }
+
+    #[test]
+    fn no_frequent_itemsets_no_rules() {
+        let run = Apriori::new(AprioriParams::with_min_support_count(100)).mine(&[]);
+        assert!(generate_rules(&run.frequent, 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be a fraction")]
+    fn rejects_out_of_range_confidence() {
+        generate_rules(&FrequentItemsets::default(), 1.5);
+    }
+
+    #[test]
+    fn rules_for_itemset_is_the_unit_of_generate_rules() {
+        let d = table1();
+        let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(d.transactions());
+        let whole = generate_rules(&run.frequent, 0.6);
+        let mut pieced: Vec<Rule> = Vec::new();
+        for size in 2..=run.frequent.max_len() {
+            for (set, _) in run.frequent.level(size) {
+                pieced.extend(rules_for_itemset(&run.frequent, set, 0.6));
+            }
+        }
+        assert_eq!(whole.len(), pieced.len());
+        for (a, b) in whole.iter().zip(&pieced) {
+            assert_eq!(a, b);
+        }
+        // Non-frequent and singleton queries produce nothing.
+        assert!(rules_for_itemset(&run.frequent, &ItemSet::from([0]), 0.0).is_empty());
+        assert!(rules_for_itemset(&run.frequent, &ItemSet::from([90, 91]), 0.0).is_empty());
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let r = Rule {
+            antecedent: ItemSet::from([1]),
+            consequent: ItemSet::from([2]),
+            support_count: 2,
+            support: 0.4,
+            confidence: 0.5,
+            antecedent_support: 0.8,
+            consequent_support: 0.5,
+        };
+        assert_eq!(r.to_string(), "{1} => {2} (sup 40.0%, conf 50.0%)");
+    }
+}

@@ -1,0 +1,185 @@
+//! Condensed representations of a frequent-itemset lattice: maximal and
+//! closed frequent itemsets.
+//!
+//! The full lattice `∪F_k` is often enormous (dense workloads make
+//! `|F_k| ≈ |C_k|` for many passes); two standard lossless/lossy
+//! summaries tame it:
+//!
+//! - a frequent itemset is **maximal** if no proper superset is frequent
+//!   (lossy: counts of non-maximal sets are not recoverable);
+//! - it is **closed** if no proper superset has the *same* support count
+//!   (lossless: every frequent itemset's count equals the count of its
+//!   smallest closed superset).
+
+use crate::apriori::FrequentItemsets;
+use crate::itemset::ItemSet;
+
+/// Extracts the maximal frequent itemsets, lexicographically ordered
+/// within each size, larger sizes last.
+///
+/// ```
+/// use armine_core::apriori::{Apriori, AprioriParams};
+/// use armine_core::summaries::maximal_itemsets;
+/// use armine_core::{Transaction, Item, ItemSet};
+///
+/// let db: Vec<Transaction> = (0..3)
+///     .map(|t| Transaction::new(t, vec![Item(1), Item(2), Item(3)]))
+///     .collect();
+/// let run = Apriori::new(AprioriParams::with_min_support_count(3)).mine(&db);
+/// // 7 frequent itemsets, but a single maximal one: {1, 2, 3}.
+/// assert_eq!(run.frequent.len(), 7);
+/// let maximal = maximal_itemsets(&run.frequent);
+/// assert_eq!(maximal, vec![(ItemSet::from([1, 2, 3]), 3)]);
+/// ```
+pub fn maximal_itemsets(frequent: &FrequentItemsets) -> Vec<(ItemSet, u64)> {
+    let max_len = frequent.max_len();
+    let mut out = Vec::new();
+    for size in 1..=max_len {
+        let supersets = frequent.level(size + 1);
+        for (set, count) in frequent.level(size) {
+            // A set is maximal iff it extends into no frequent superset.
+            // Supersets of size+1 suffice: anti-monotonicity means any
+            // larger frequent superset implies one at size+1.
+            let has_frequent_superset = supersets.iter().any(|(sup, _)| set.is_subset_of(sup));
+            if !has_frequent_superset {
+                out.push((set.clone(), *count));
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the closed frequent itemsets (no proper superset with equal
+/// support), lexicographically ordered within each size.
+pub fn closed_itemsets(frequent: &FrequentItemsets) -> Vec<(ItemSet, u64)> {
+    let max_len = frequent.max_len();
+    let mut out = Vec::new();
+    for size in 1..=max_len {
+        let supersets = frequent.level(size + 1);
+        for (set, count) in frequent.level(size) {
+            // Any superset has support ≤ count; equality at size+1 decides
+            // closedness (a larger equal-support superset implies an
+            // equal-support one at size+1 by anti-monotonicity).
+            let absorbed = supersets
+                .iter()
+                .any(|(sup, sc)| sc == count && set.is_subset_of(sup));
+            if !absorbed {
+                out.push((set.clone(), *count));
+            }
+        }
+    }
+    out
+}
+
+/// Recovers the support of an arbitrary frequent itemset from the closed
+/// summary: the count of its smallest superset among the closed sets
+/// (`None` if the set is not frequent at all).
+pub fn support_from_closed(closed: &[(ItemSet, u64)], query: &ItemSet) -> Option<u64> {
+    closed
+        .iter()
+        .filter(|(c, _)| query.is_subset_of(c))
+        .map(|(_, count)| *count)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{Apriori, AprioriParams};
+    use crate::dataset::Dataset;
+
+    fn table1() -> Dataset {
+        Dataset::from_named_transactions(&[
+            &["Bread", "Coke", "Milk"],
+            &["Beer", "Bread"],
+            &["Beer", "Coke", "Diaper", "Milk"],
+            &["Beer", "Bread", "Diaper", "Milk"],
+            &["Coke", "Diaper", "Milk"],
+        ])
+    }
+
+    fn mined(min_count: u64) -> FrequentItemsets {
+        Apriori::new(AprioriParams::with_min_support_count(min_count))
+            .mine(table1().transactions())
+            .frequent
+    }
+
+    #[test]
+    fn maximal_sets_have_no_frequent_supersets() {
+        let f = mined(2);
+        let maximal = maximal_itemsets(&f);
+        assert!(!maximal.is_empty());
+        for (m, _) in &maximal {
+            for (other, _) in f.iter() {
+                if m.is_subset_of(other) && m != other {
+                    panic!("{m} has frequent superset {other}");
+                }
+            }
+        }
+        // Every frequent set is under some maximal set.
+        for (s, _) in f.iter() {
+            assert!(
+                maximal.iter().any(|(m, _)| s.is_subset_of(m)),
+                "{s} not covered"
+            );
+        }
+        // Maximal is a (strict, here) subset of the lattice.
+        assert!(maximal.len() < f.len());
+    }
+
+    #[test]
+    fn closed_summary_is_lossless() {
+        let f = mined(2);
+        let closed = closed_itemsets(&f);
+        // Every frequent itemset's support is recoverable.
+        for (s, count) in f.iter() {
+            assert_eq!(
+                support_from_closed(&closed, s),
+                Some(count),
+                "support of {s} lost"
+            );
+        }
+        // And closed ⊆ frequent with matching counts.
+        for (c, count) in &closed {
+            assert_eq!(f.support(c), Some(*count));
+        }
+    }
+
+    #[test]
+    fn maximal_subset_of_closed() {
+        // Every maximal itemset is closed (strict superset would be
+        // frequent, contradiction).
+        let f = mined(2);
+        let closed: std::collections::HashSet<ItemSet> =
+            closed_itemsets(&f).into_iter().map(|(s, _)| s).collect();
+        for (m, _) in maximal_itemsets(&f) {
+            assert!(closed.contains(&m), "maximal {m} not closed");
+        }
+    }
+
+    #[test]
+    fn singleton_lattice() {
+        let f = mined(4); // only {Milk} has support 4.
+        let maximal = maximal_itemsets(&f);
+        let closed = closed_itemsets(&f);
+        assert_eq!(maximal, closed);
+        assert_eq!(maximal.len(), f.len());
+    }
+
+    #[test]
+    fn empty_lattice() {
+        let f = mined(100);
+        assert!(maximal_itemsets(&f).is_empty());
+        assert!(closed_itemsets(&f).is_empty());
+        assert_eq!(support_from_closed(&[], &ItemSet::from([1])), None);
+    }
+
+    #[test]
+    fn support_from_closed_rejects_infrequent() {
+        let f = mined(3);
+        let closed = closed_itemsets(&f);
+        let d = table1();
+        let infrequent = d.itemset(&["Beer", "Coke"]).unwrap(); // σ = 1 < 3
+        assert_eq!(support_from_closed(&closed, &infrequent), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! A prefix trie over candidate itemsets — the main alternative to the
+//! paper's candidate hash tree.
+//!
+//! Later Apriori implementations (Borgelt's, Bodon's) replaced the hash
+//! tree with an item-indexed trie: every path from the root spells a
+//! candidate prefix, depth-`k` nodes carry the counts, and counting walks
+//! the trie and the (sorted) transaction in lockstep. Compared to the
+//! hash tree there is no hashing, no leaf checking against the whole
+//! transaction, and no revisit bookkeeping — each candidate contained in
+//! the transaction is reached by exactly one path.
+//!
+//! Provided here as an independent counting oracle (tested equivalent to
+//! the hash tree) and for the `hashtree` bench's structure comparison.
+//! The parallel formulations keep the hash tree — that is what the paper
+//! models and instruments.
+
+use crate::item::Item;
+use crate::itemset::ItemSet;
+use crate::transaction::Transaction;
+
+/// Arena-allocated trie node: sorted child list + optional candidate slot.
+#[derive(Debug, Default, Clone)]
+struct TrieNode {
+    /// `(item, child index)`, ascending by item.
+    children: Vec<(Item, u32)>,
+    /// Index into the candidate arena when a candidate *ends* here.
+    candidate: Option<u32>,
+}
+
+/// A counting trie for candidates of a fixed size `k`.
+///
+/// ```
+/// use armine_core::trie::CandidateTrie;
+/// use armine_core::{ItemSet, Transaction, Item};
+///
+/// let mut trie = CandidateTrie::build(2, vec![ItemSet::from([1, 3])]);
+/// trie.count(&Transaction::new(1, vec![Item(1), Item(2), Item(3)]));
+/// assert_eq!(trie.count_of(&ItemSet::from([1, 3])), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CandidateTrie {
+    k: usize,
+    nodes: Vec<TrieNode>,
+    candidates: Vec<(ItemSet, u64)>,
+}
+
+impl CandidateTrie {
+    /// Builds a trie over size-`k` candidates.
+    ///
+    /// # Panics
+    /// If any candidate's size differs from `k`, or `k == 0`.
+    pub fn build(k: usize, candidates: Vec<ItemSet>) -> Self {
+        assert!(k >= 1, "candidate size must be at least 1");
+        let mut trie = CandidateTrie {
+            k,
+            nodes: vec![TrieNode::default()],
+            candidates: Vec::with_capacity(candidates.len()),
+        };
+        for set in candidates {
+            assert_eq!(set.len(), k, "candidate {set} has wrong size for k={k}");
+            trie.insert(set);
+        }
+        trie
+    }
+
+    fn insert(&mut self, set: ItemSet) {
+        let mut node = 0u32;
+        for &item in set.items() {
+            let pos = self.nodes[node as usize]
+                .children
+                .binary_search_by_key(&item, |&(i, _)| i);
+            node = match pos {
+                Ok(p) => self.nodes[node as usize].children[p].1,
+                Err(p) => {
+                    let fresh = self.nodes.len() as u32;
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node as usize].children.insert(p, (item, fresh));
+                    fresh
+                }
+            };
+        }
+        let slot = &mut self.nodes[node as usize].candidate;
+        if slot.is_none() {
+            *slot = Some(self.candidates.len() as u32);
+            self.candidates.push((set, 0));
+        }
+    }
+
+    /// Number of candidates stored.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of trie nodes (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Counts the candidates contained in one transaction: a lockstep walk
+    /// of the trie and the sorted item list — each contained candidate is
+    /// visited exactly once.
+    pub fn count(&mut self, t: &Transaction) {
+        if t.len() < self.k {
+            return;
+        }
+        self.walk(0, t.items(), self.k);
+    }
+
+    fn walk(&mut self, node: u32, suffix: &[Item], remaining: usize) {
+        if remaining == 0 {
+            if let Some(c) = self.nodes[node as usize].candidate {
+                self.candidates[c as usize].1 += 1;
+            }
+            return;
+        }
+        if suffix.len() < remaining {
+            return;
+        }
+        // Merge-intersect the child list with the transaction suffix.
+        let children = self.nodes[node as usize].children.clone();
+        let (mut ci, mut si) = (0usize, 0usize);
+        while ci < children.len() && si + remaining <= suffix.len() {
+            let (item, child) = children[ci];
+            match item.cmp(&suffix[si]) {
+                std::cmp::Ordering::Less => ci += 1,
+                std::cmp::Ordering::Greater => si += 1,
+                std::cmp::Ordering::Equal => {
+                    self.walk(child, &suffix[si + 1..], remaining - 1);
+                    ci += 1;
+                    si += 1;
+                }
+            }
+        }
+    }
+
+    /// Counts a whole batch.
+    pub fn count_all(&mut self, transactions: &[Transaction]) {
+        for t in transactions {
+            self.count(t);
+        }
+    }
+
+    /// The accumulated count for `set`, or `None` if never inserted.
+    pub fn count_of(&self, set: &ItemSet) -> Option<u64> {
+        self.candidates
+            .iter()
+            .find(|(s, _)| s == set)
+            .map(|&(_, c)| c)
+    }
+
+    /// `(candidate, count)` pairs in insertion order.
+    pub fn counts(&self) -> impl Iterator<Item = (&ItemSet, u64)> + '_ {
+        self.candidates.iter().map(|(s, c)| (s, *c))
+    }
+
+    /// Candidates with `count >= min_count`, insertion order.
+    pub fn frequent(&self, min_count: u64) -> Vec<(ItemSet, u64)> {
+        self.candidates
+            .iter()
+            .filter(|&&(_, c)| c >= min_count)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashtree::{HashTree, HashTreeParams, OwnershipFilter};
+    use rand::prelude::*;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from(ids)
+    }
+
+    fn tx(tid: u64, ids: &[u32]) -> Transaction {
+        Transaction::new(tid, ids.iter().map(|&i| Item(i)).collect())
+    }
+
+    #[test]
+    fn counts_paper_example() {
+        let cands = vec![
+            set(&[1, 2, 5]),
+            set(&[1, 3, 6]),
+            set(&[3, 5, 6]),
+            set(&[1, 4, 5]),
+        ];
+        let mut trie = CandidateTrie::build(3, cands);
+        trie.count(&tx(0, &[1, 2, 3, 5, 6]));
+        assert_eq!(trie.count_of(&set(&[1, 2, 5])), Some(1));
+        assert_eq!(trie.count_of(&set(&[1, 3, 6])), Some(1));
+        assert_eq!(trie.count_of(&set(&[3, 5, 6])), Some(1));
+        assert_eq!(trie.count_of(&set(&[1, 4, 5])), Some(0));
+        assert_eq!(trie.count_of(&set(&[9, 9, 9])), None);
+    }
+
+    #[test]
+    fn equivalent_to_hash_tree_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..10 {
+            let k = 2 + trial % 3;
+            let mut cands: Vec<ItemSet> = (0..120)
+                .map(|_| {
+                    let mut ids: Vec<u32> = (0..25).collect();
+                    ids.shuffle(&mut rng);
+                    set(&ids[..k])
+                })
+                .collect();
+            cands.sort();
+            cands.dedup();
+            let txs: Vec<Transaction> = (0..80)
+                .map(|tid| {
+                    let len = rng.gen_range(0..=12);
+                    let mut ids: Vec<u32> = (0..25).collect();
+                    ids.shuffle(&mut rng);
+                    tx(tid, &ids[..len])
+                })
+                .collect();
+            let mut trie = CandidateTrie::build(k, cands.clone());
+            trie.count_all(&txs);
+            let mut tree = HashTree::build(k, HashTreeParams::default(), cands.clone());
+            tree.count_all(&txs, &OwnershipFilter::all());
+            for c in &cands {
+                assert_eq!(trie.count_of(c), tree.count_of(c), "candidate {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut trie = CandidateTrie::build(2, vec![set(&[1, 2]), set(&[1, 2])]);
+        assert_eq!(trie.num_candidates(), 1);
+        trie.count(&tx(0, &[1, 2, 3]));
+        assert_eq!(trie.count_of(&set(&[1, 2])), Some(1));
+    }
+
+    #[test]
+    fn frequent_filters() {
+        let mut trie = CandidateTrie::build(1, vec![set(&[3]), set(&[7])]);
+        trie.count_all(&[tx(0, &[3]), tx(1, &[3, 7]), tx(2, &[3])]);
+        assert_eq!(trie.frequent(3), vec![(set(&[3]), 3)]);
+        assert_eq!(trie.frequent(1).len(), 2);
+    }
+
+    #[test]
+    fn short_transactions_skipped() {
+        let mut trie = CandidateTrie::build(3, vec![set(&[1, 2, 3])]);
+        trie.count(&tx(0, &[1, 2]));
+        assert_eq!(trie.count_of(&set(&[1, 2, 3])), Some(0));
+    }
+
+    #[test]
+    fn node_sharing_compresses_prefixes() {
+        // {1,2,3} and {1,2,4} share the 1→2 path: 1 root + 2 shared + 2
+        // leaves = 5 nodes.
+        let trie = CandidateTrie::build(3, vec![set(&[1, 2, 3]), set(&[1, 2, 4])]);
+        assert_eq!(trie.num_nodes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn arity_checked() {
+        CandidateTrie::build(3, vec![set(&[1, 2])]);
+    }
+}

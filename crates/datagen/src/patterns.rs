@@ -1,0 +1,277 @@
+//! The pool of maximal potentially large itemsets ("patterns").
+//!
+//! Patterns model the latent purchase behaviours the transactions are
+//! assembled from. Their three statistical properties (VLDB '94 §4):
+//! correlated composition (each pattern reuses a fraction of its
+//! predecessor's items), skewed popularity (exponential weights, normalized
+//! to a probability distribution), and per-pattern corruption levels (so a
+//! pattern usually contributes only part of itself to a transaction).
+
+use crate::dist::{Exponential, Normal, Poisson};
+use armine_core::Item;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One maximal potentially large itemset.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// The items, sorted ascending.
+    pub items: Vec<Item>,
+    /// Selection probability (all weights sum to 1 across the pool).
+    pub weight: f64,
+    /// Corruption level: while `uniform(0,1) < corruption`, an item is
+    /// dropped from the pattern instance added to a transaction.
+    pub corruption: f64,
+}
+
+/// The pattern pool plus its cumulative-weight index for roulette
+/// selection.
+#[derive(Debug, Clone)]
+pub struct PatternPool {
+    patterns: Vec<Pattern>,
+    cumulative: Vec<f64>,
+}
+
+impl PatternPool {
+    /// Builds a pool of `num_patterns` patterns over `num_items` items.
+    ///
+    /// * `avg_len` — mean pattern size (`|I|`, Poisson, clamped to ≥ 1 and
+    ///   ≤ `num_items`).
+    /// * `correlation` — mean fraction of items reused from the previous
+    ///   pattern (exponentially distributed per pattern).
+    /// * `corruption_mean`/`corruption_sd` — the clamped-normal corruption
+    ///   level distribution (the original tool uses mean 0.5, variance 0.1).
+    pub fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_patterns: usize,
+        num_items: u32,
+        avg_len: f64,
+        correlation: f64,
+        corruption_mean: f64,
+        corruption_sd: f64,
+    ) -> Self {
+        assert!(num_patterns > 0, "need at least one pattern");
+        assert!(num_items > 0, "need at least one item");
+        let len_dist = Poisson::new(avg_len.max(f64::MIN_POSITIVE));
+        let weight_dist = Exponential::new(1.0);
+        let corruption_dist = Normal::new(corruption_mean, corruption_sd);
+        let reuse_dist = Exponential::new(correlation.max(1e-9));
+
+        let mut patterns: Vec<Pattern> = Vec::with_capacity(num_patterns);
+        let mut prev_items: Vec<Item> = Vec::new();
+        for _ in 0..num_patterns {
+            let len = (len_dist.sample(rng).max(1) as usize).min(num_items as usize);
+            let mut items: Vec<Item> = Vec::with_capacity(len);
+            // Reuse a fraction of the previous pattern (correlation).
+            if !prev_items.is_empty() {
+                let frac = reuse_dist.sample(rng).min(1.0);
+                let reuse = ((frac * len as f64).round() as usize).min(prev_items.len());
+                let mut pool = prev_items.clone();
+                pool.shuffle(rng);
+                items.extend(pool.into_iter().take(reuse));
+            }
+            // Fill the rest with fresh random items.
+            while items.len() < len {
+                let candidate = Item(rng.gen_range(0..num_items));
+                if !items.contains(&candidate) {
+                    items.push(candidate);
+                }
+            }
+            items.sort_unstable();
+            items.dedup();
+            prev_items = items.clone();
+            patterns.push(Pattern {
+                items,
+                weight: weight_dist.sample(rng),
+                corruption: corruption_dist.sample(rng).clamp(0.0, 1.0),
+            });
+        }
+        // Normalize weights to a probability distribution.
+        let total: f64 = patterns.iter().map(|p| p.weight).sum();
+        let mut cumulative = Vec::with_capacity(patterns.len());
+        let mut acc = 0.0;
+        for p in &mut patterns {
+            p.weight /= total;
+            acc += p.weight;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point drift in the final bucket.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        PatternPool {
+            patterns,
+            cumulative,
+        }
+    }
+
+    /// The patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Number of patterns (`|L|`).
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the pool is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Roulette-selects a pattern index by weight.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+        {
+            Ok(i) | Err(i) => i.min(self.patterns.len() - 1),
+        }
+    }
+
+    /// Produces a corrupted instance of pattern `idx`: items are removed
+    /// while `uniform(0,1) < corruption` (so a corruption level of 0 keeps
+    /// the whole pattern; higher levels keep less). At least one item is
+    /// always kept.
+    pub fn corrupted_instance<R: Rng + ?Sized>(&self, idx: usize, rng: &mut R) -> Vec<Item> {
+        let p = &self.patterns[idx];
+        let mut items = p.items.clone();
+        while items.len() > 1 && rng.gen::<f64>() < p.corruption {
+            let victim = rng.gen_range(0..items.len());
+            items.swap_remove(victim);
+        }
+        items.sort_unstable();
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn pool(seed: u64) -> PatternPool {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PatternPool::build(&mut rng, 100, 500, 6.0, 0.5, 0.5, 0.1f64.sqrt())
+    }
+
+    #[test]
+    fn pool_has_requested_size_and_valid_items() {
+        let p = pool(1);
+        assert_eq!(p.len(), 100);
+        for pat in p.patterns() {
+            assert!(!pat.items.is_empty());
+            assert!(
+                pat.items.windows(2).all(|w| w[0] < w[1]),
+                "sorted, distinct"
+            );
+            assert!(pat.items.iter().all(|i| i.id() < 500));
+            assert!((0.0..=1.0).contains(&pat.corruption));
+        }
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let p = pool(2);
+        let total: f64 = p.patterns().iter().map(|pat| pat.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    }
+
+    #[test]
+    fn average_pattern_length_near_target() {
+        let p = pool(3);
+        let avg: f64 = p
+            .patterns()
+            .iter()
+            .map(|pat| pat.items.len() as f64)
+            .sum::<f64>()
+            / p.len() as f64;
+        assert!(avg > 4.0 && avg < 8.0, "avg pattern length {avg}, target 6");
+    }
+
+    #[test]
+    fn pick_respects_weights() {
+        let p = pool(4);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = vec![0u32; p.len()];
+        for _ in 0..50_000 {
+            counts[p.pick(&mut rng)] += 1;
+        }
+        // The empirical frequency of the heaviest pattern should be close
+        // to its weight.
+        let (hi, _) = p
+            .patterns()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.weight.partial_cmp(&b.1.weight).unwrap())
+            .unwrap();
+        let freq = counts[hi] as f64 / 50_000.0;
+        let weight = p.patterns()[hi].weight;
+        assert!(
+            (freq - weight).abs() < 0.02,
+            "heaviest pattern: freq {freq} vs weight {weight}"
+        );
+    }
+
+    #[test]
+    fn corrupted_instance_is_subset_and_nonempty() {
+        let p = pool(5);
+        let mut rng = StdRng::seed_from_u64(7);
+        for idx in 0..p.len() {
+            let inst = p.corrupted_instance(idx, &mut rng);
+            assert!(!inst.is_empty());
+            let full = &p.patterns()[idx].items;
+            assert!(inst.iter().all(|i| full.contains(i)), "instance ⊆ pattern");
+            assert!(inst.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn zero_corruption_keeps_everything() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut p = PatternPool::build(&mut rng, 10, 100, 5.0, 0.5, 0.0, 0.0);
+        for pat in &mut p.patterns {
+            pat.corruption = 0.0;
+        }
+        for idx in 0..p.len() {
+            assert_eq!(p.corrupted_instance(idx, &mut rng), p.patterns()[idx].items);
+        }
+    }
+
+    #[test]
+    fn correlation_reuses_items() {
+        // With high correlation, consecutive patterns overlap noticeably
+        // more than with none.
+        let overlap = |correlation: f64, seed: u64| -> f64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = PatternPool::build(&mut rng, 200, 10_000, 8.0, correlation, 0.5, 0.1);
+            let mut total = 0.0;
+            for w in p.patterns().windows(2) {
+                let shared = w[1].items.iter().filter(|i| w[0].items.contains(i)).count();
+                total += shared as f64 / w[1].items.len() as f64;
+            }
+            total / (p.len() - 1) as f64
+        };
+        // A huge universe makes accidental overlap negligible.
+        assert!(overlap(0.9, 10) > overlap(1e-9, 10) + 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pattern")]
+    fn empty_pool_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        PatternPool::build(&mut rng, 0, 10, 5.0, 0.5, 0.5, 0.1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = pool(42);
+        let b = pool(42);
+        for (x, y) in a.patterns().iter().zip(b.patterns()) {
+            assert_eq!(x.items, y.items);
+            assert_eq!(x.weight, y.weight);
+        }
+    }
+}

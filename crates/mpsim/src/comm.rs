@@ -1,0 +1,545 @@
+//! The per-rank communicator: clocks, point-to-point messaging, and
+//! collectives.
+
+use crate::machine::MachineProfile;
+use crate::message::{Envelope, MatchKey};
+use crate::stats::RankStats;
+use crate::topology::Topology;
+use crate::trace::TraceEvent;
+use crossbeam::channel::{Receiver, Sender};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Handle of a non-blocking send; [`Scope::wait_send`] synchronizes the
+/// sender's clock with the link-occupancy completion time.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a pending isend must be waited on"]
+pub struct SendHandle {
+    completion: f64,
+}
+
+/// Handle of a posted receive; [`Scope::wait_recv`] blocks until the
+/// matching message exists and advances the clock to its arrival.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a posted irecv must be waited on"]
+pub struct RecvHandle {
+    key: MatchKey,
+}
+
+/// One rank's endpoint: virtual clock, mailboxes to every peer, and
+/// accounting. Obtain [`Scope`]s from it to actually communicate.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    machine: MachineProfile,
+    topology: Topology,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    pending: VecDeque<Envelope>,
+    clock: f64,
+    stats: RankStats,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        machine: MachineProfile,
+        topology: Topology,
+        senders: Vec<Sender<Envelope>>,
+        inbox: Receiver<Envelope>,
+        tracing: bool,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            machine,
+            topology,
+            senders,
+            inbox,
+            pending: VecDeque::new(),
+            clock: 0.0,
+            stats: RankStats::default(),
+            trace: tracing.then(Vec::new),
+        }
+    }
+
+    /// Extracts the recorded trace (empty when tracing is off).
+    pub(crate) fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks in the simulation.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The machine profile pricing this run.
+    pub fn machine(&self) -> &MachineProfile {
+        &self.machine
+    }
+
+    /// Current virtual time of this rank.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Charges `seconds` of local computation.
+    pub fn advance(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "cannot advance time backwards");
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Compute {
+                start: self.clock,
+                duration: seconds,
+            });
+        }
+        self.clock += seconds;
+        self.stats.busy += seconds;
+    }
+
+    /// Charges I/O time for (re-)reading `bytes` from the database.
+    pub fn charge_io(&mut self, bytes: usize) {
+        let t = bytes as f64 * self.machine.io_per_byte;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Io {
+                start: self.clock,
+                duration: t,
+            });
+        }
+        self.clock += t;
+        self.stats.io += t;
+    }
+
+    /// The accumulated accounting (clock, busy, idle, traffic).
+    pub fn stats(&self) -> RankStats {
+        let mut s = self.stats;
+        s.clock = self.clock;
+        s
+    }
+
+    /// A scope spanning every rank (MPI_COMM_WORLD).
+    pub fn world(&mut self) -> Scope<'_> {
+        let members = (0..self.size).collect();
+        self.scope(0, members)
+    }
+
+    /// A scope over an explicit member list (a sub-communicator). Every
+    /// member must call `scope` with the same `id` and list; `id`
+    /// namespaces the message matching so concurrent scopes (e.g. HD's
+    /// rows and columns) cannot cross-deliver.
+    ///
+    /// # Panics
+    /// If this rank is not in `members`.
+    pub fn scope(&mut self, id: u64, members: Vec<usize>) -> Scope<'_> {
+        let my_index = members
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank must be a member of the scope it opens");
+        Scope {
+            id,
+            members,
+            my_index,
+            comm: self,
+        }
+    }
+
+    fn send_raw(
+        &mut self,
+        scope: u64,
+        dst: usize,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+        bytes: usize,
+    ) -> SendHandle {
+        // Sender CPU overhead: message setup costs host cycles even for
+        // non-blocking sends (LogP's `o`); it can never be overlapped.
+        self.clock += self.machine.t_s;
+        let issue = self.clock;
+        // Sender-side link occupancy: bytes on the wire.
+        let completion = issue + bytes as f64 * self.machine.t_w;
+        // In-flight: per-hop routing latency, plus per-hop bandwidth
+        // re-serialization on (partially) store-and-forward networks.
+        let hops = self.topology.hops(self.rank, dst, self.size);
+        let arrival = completion
+            + hops as f64 * self.machine.t_hop
+            + hops.saturating_sub(1) as f64
+                * bytes as f64
+                * self.machine.t_w
+                * self.machine.store_forward;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Send {
+                start: issue - self.machine.t_s,
+                completion,
+                dst,
+                bytes,
+            });
+        }
+        let env = Envelope {
+            key: MatchKey {
+                scope,
+                src: self.rank,
+                tag,
+            },
+            arrival,
+            bytes,
+            payload,
+        };
+        self.senders[dst]
+            .send(env)
+            .expect("peer mailbox closed (peer panicked?)");
+        SendHandle { completion }
+    }
+
+    /// Blocks (the real thread) until a message matching `key` exists,
+    /// buffering non-matching arrivals.
+    fn match_raw(&mut self, key: MatchKey) -> Envelope {
+        if let Some(pos) = self.pending.iter().position(|e| e.key == key) {
+            return self.pending.remove(pos).unwrap();
+        }
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .expect("all peers disconnected while a receive was pending");
+            if env.key == key {
+                return env;
+            }
+            self.pending.push_back(env);
+        }
+    }
+
+    fn complete_recv(&mut self, env: &Envelope) {
+        // Causality: cannot complete before the message arrived.
+        let mut idle = 0.0;
+        if env.arrival > self.clock {
+            idle = env.arrival - self.clock;
+            self.stats.idle += idle;
+            self.clock = env.arrival;
+        }
+        // Single-ported receiver: unloading the message occupies the
+        // network interface for its wire time. Draining many messages
+        // therefore serializes — the DD all-to-all penalty.
+        self.clock += env.bytes as f64 * self.machine.t_w;
+        self.stats.messages_received += 1;
+        self.stats.bytes_received += env.bytes as u64;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Recv {
+                at: self.clock,
+                idle,
+                src: env.key.src,
+                bytes: env.bytes,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+/// A communication scope (MPI communicator): a set of member ranks with
+/// local numbering. All addressing below is in **local ranks** (indices
+/// into the member list).
+pub struct Scope<'a> {
+    id: u64,
+    members: Vec<usize>,
+    my_index: usize,
+    comm: &'a mut Comm,
+}
+
+/// Tag bit reserved for collective-internal messages so they can never
+/// collide with user point-to-point tags.
+const COLLECTIVE_TAG: u64 = 1 << 62;
+
+impl<'a> Scope<'a> {
+    /// Local rank within this scope.
+    pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Global rank of local member `local`.
+    pub fn global_rank(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
+    /// The underlying communicator (clock, compute charges).
+    pub fn comm(&mut self) -> &mut Comm {
+        self.comm
+    }
+
+    /// Right neighbour on the scope's logical ring.
+    pub fn right(&self) -> usize {
+        (self.my_index + 1) % self.members.len()
+    }
+
+    /// Left neighbour on the scope's logical ring.
+    pub fn left(&self) -> usize {
+        (self.my_index + self.members.len() - 1) % self.members.len()
+    }
+
+    /// Non-blocking send of `value` (`bytes` on the wire) to local rank
+    /// `to`. The message is immediately in flight; the handle carries the
+    /// sender-side completion time.
+    pub fn isend<T: Send + 'static>(
+        &mut self,
+        to: usize,
+        tag: u64,
+        value: T,
+        bytes: usize,
+    ) -> SendHandle {
+        let dst = self.members[to];
+        self.comm
+            .send_raw(self.id, dst, tag, Box::new(value), bytes)
+    }
+
+    /// Blocking send: the clock advances over the full link occupancy.
+    pub fn send<T: Send + 'static>(&mut self, to: usize, tag: u64, value: T, bytes: usize) {
+        let h = self.isend(to, tag, value, bytes);
+        self.wait_send(h);
+    }
+
+    /// Synchronizes the clock with a pending send's completion.
+    pub fn wait_send(&mut self, handle: SendHandle) {
+        if handle.completion > self.comm.clock {
+            self.comm.clock = handle.completion;
+        }
+    }
+
+    /// Posts a receive from local rank `from` with `tag`.
+    pub fn irecv(&mut self, from: usize, tag: u64) -> RecvHandle {
+        RecvHandle {
+            key: MatchKey {
+                scope: self.id,
+                src: self.members[from],
+                tag,
+            },
+        }
+    }
+
+    /// Completes a posted receive: blocks until the message exists,
+    /// advances the clock to its arrival (idle time), charges unload.
+    ///
+    /// # Panics
+    /// If the payload type does not match `T` (a protocol bug).
+    pub fn wait_recv<T: Send + 'static>(&mut self, handle: RecvHandle) -> T {
+        let env = self.comm.match_raw(handle.key);
+        self.comm.complete_recv(&env);
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "type mismatch receiving {:?}: expected {}",
+                handle.key,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Blocking receive.
+    pub fn recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> T {
+        let h = self.irecv(from, tag);
+        self.wait_recv(h)
+    }
+
+    /// Global sum of a `u64` vector across the scope, in place, on every
+    /// member — CD's "global reduction operation". Implemented as a ring
+    /// reduce-scatter followed by a ring all-gather: `2(P−1)` messages of
+    /// `M/P` entries each, i.e. `O(M)` total bytes per rank, matching the
+    /// `O(M)` reduction term of Equation 4.
+    pub fn allreduce_sum_u64(&mut self, v: &mut [u64]) {
+        let p = self.members.len();
+        if p == 1 || v.is_empty() {
+            return;
+        }
+        let n = v.len();
+        let chunk_bounds = move |i: usize| -> (usize, usize) { (i * n / p, (i + 1) * n / p) };
+        let me = self.my_index;
+        let (right, left) = (self.right(), self.left());
+        // Phase 1 — reduce-scatter: after P−1 steps, rank r holds the
+        // fully reduced chunk (r+1) mod P.
+        for s in 0..p - 1 {
+            let send_idx = (me + p - s) % p;
+            let recv_idx = (me + p - s - 1) % p;
+            let (slo, shi) = chunk_bounds(send_idx);
+            let chunk: Vec<u64> = v[slo..shi].to_vec();
+            let sh = self.isend(right, COLLECTIVE_TAG | s as u64, chunk, (shi - slo) * 8);
+            let incoming: Vec<u64> = self.recv(left, COLLECTIVE_TAG | s as u64);
+            self.wait_send(sh);
+            let (rlo, rhi) = chunk_bounds(recv_idx);
+            debug_assert_eq!(incoming.len(), rhi - rlo);
+            for (dst, src) in v[rlo..rhi].iter_mut().zip(&incoming) {
+                *dst += src;
+            }
+        }
+        // Phase 2 — all-gather the reduced chunks.
+        for s in 0..p - 1 {
+            let send_idx = (me + 1 + p - s) % p;
+            let recv_idx = (me + p - s) % p;
+            let (slo, shi) = chunk_bounds(send_idx);
+            let chunk: Vec<u64> = v[slo..shi].to_vec();
+            let tag = COLLECTIVE_TAG | (1 << 32) | s as u64;
+            let sh = self.isend(right, tag, chunk, (shi - slo) * 8);
+            let incoming: Vec<u64> = self.recv(left, tag);
+            self.wait_send(sh);
+            let (rlo, rhi) = chunk_bounds(recv_idx);
+            debug_assert_eq!(incoming.len(), rhi - rlo);
+            v[rlo..rhi].copy_from_slice(&incoming);
+        }
+    }
+
+    /// All-to-all broadcast: every member contributes `value` and receives
+    /// everyone's, ordered by local rank — the primitive DD and IDD use to
+    /// exchange per-partition frequent itemsets. Ring algorithm: `P−1`
+    /// store-and-forward steps.
+    pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T, bytes: usize) -> Vec<T> {
+        let p = self.members.len();
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        out[self.my_index] = Some(value.clone());
+        let (right, left) = (self.right(), self.left());
+        let mut current = value;
+        for s in 0..p - 1 {
+            let tag = COLLECTIVE_TAG | (2 << 32) | s as u64;
+            let sh = self.isend(right, tag, current, bytes);
+            current = self.recv(left, tag);
+            self.wait_send(sh);
+            let origin = (self.my_index + p - 1 - s) % p;
+            out[origin] = Some(current.clone());
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Synchronizes all members: no rank proceeds (in virtual time) much
+    /// before the others. Implemented as a 1-word allreduce.
+    pub fn barrier(&mut self) {
+        let mut token = [0u64; 1];
+        self.allreduce_sum_u64(&mut token);
+    }
+
+    /// One-to-all broadcast from local rank `root`, binomial-tree
+    /// algorithm: `⌈log₂ P⌉` rounds, so a large value reaches everyone in
+    /// `O(log P · (t_s + m·t_w))`. Returns the value on every member.
+    pub fn broadcast<T: Clone + Send + 'static>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+        bytes: usize,
+    ) -> T {
+        let p = self.members.len();
+        assert!(root < p, "broadcast root out of range");
+        // Work in root-relative rank space so the binomial tree always
+        // roots at 0.
+        let me = (self.my_index + p - root) % p;
+        let mut have: Option<T> = if me == 0 {
+            Some(value.expect("root must supply the broadcast value"))
+        } else {
+            None
+        };
+        let rounds = p.next_power_of_two().trailing_zeros() as usize;
+        for round in 0..rounds {
+            let bit = 1usize << round;
+            let tag = COLLECTIVE_TAG | (3 << 32) | round as u64;
+            if me < bit {
+                // I already hold the value: send to my partner if it exists.
+                let partner = me + bit;
+                if partner < p {
+                    let to = (partner + root) % p;
+                    let v = have.clone().expect("sender must hold the value");
+                    self.send(to, tag, v, bytes);
+                }
+            } else if me < 2 * bit {
+                let partner = me - bit;
+                let from = (partner + root) % p;
+                have = Some(self.recv(from, tag));
+            }
+        }
+        have.expect("broadcast must deliver to every member")
+    }
+
+    /// All-to-one gather to local rank `root`: returns `Some(values)` in
+    /// member order at the root, `None` elsewhere. Linear algorithm (the
+    /// root's single port serializes the receives anyway).
+    #[allow(clippy::needless_range_loop)] // the loop variable is a rank
+    pub fn gather<T: Send + 'static>(
+        &mut self,
+        root: usize,
+        value: T,
+        bytes: usize,
+    ) -> Option<Vec<T>> {
+        let p = self.members.len();
+        assert!(root < p, "gather root out of range");
+        let tag = COLLECTIVE_TAG | 4 << 32;
+        if self.my_index == root {
+            #[allow(clippy::needless_range_loop)] // `from` is a rank, not just an index
+            let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+            out[root] = Some(value);
+            for from in 0..p {
+                if from != root {
+                    out[from] = Some(self.recv(from, tag));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send(root, tag, value, bytes);
+            None
+        }
+    }
+
+    /// Recursive-doubling all-reduce: `⌈log₂ P⌉` rounds exchanging the
+    /// **whole** vector — latency-optimal (`log P` startups) but moves
+    /// `O(M log P)` bytes per rank, versus the ring algorithm's `O(M)`
+    /// with `O(P)` startups. The classic trade-off: use this for short
+    /// vectors, [`Scope::allreduce_sum_u64`] for long ones. Requires a
+    /// power-of-two membership.
+    ///
+    /// # Panics
+    /// If the scope size is not a power of two.
+    pub fn allreduce_sum_u64_doubling(&mut self, v: &mut [u64]) {
+        let p = self.members.len();
+        assert!(p.is_power_of_two(), "recursive doubling needs 2^k members");
+        if p == 1 {
+            return;
+        }
+        let rounds = p.trailing_zeros() as usize;
+        for round in 0..rounds {
+            let partner = self.my_index ^ (1 << round);
+            let tag = COLLECTIVE_TAG | (5 << 32) | round as u64;
+            let bytes = v.len() * 8;
+            let sh = self.isend(partner, tag, v.to_vec(), bytes);
+            let incoming: Vec<u64> = self.recv(partner, tag);
+            self.wait_send(sh);
+            for (dst, src) in v.iter_mut().zip(&incoming) {
+                *dst += src;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Comm cannot be constructed without the runtime; the behavioural
+    // tests live in runtime.rs where simulations can be spawned.
+    use super::COLLECTIVE_TAG;
+
+    #[test]
+    fn collective_tags_do_not_collide_with_user_space() {
+        // User tags in the parallel crate stay far below 2^62.
+        assert!(COLLECTIVE_TAG > u32::MAX as u64);
+    }
+}

@@ -1,0 +1,142 @@
+//! Machine profiles: the per-operation constants of the cost model.
+//!
+//! Communication constants come from the paper's Section V measurements
+//! (T3E: 303 MB/s effective bandwidth for 16 KB messages, 16 µs effective
+//! startup; SP2: 110 MB/s peak HPS). Computation constants are calibrated
+//! to plausible per-operation costs on the respective CPUs (600 MHz Alpha
+//! EV5 vs 66.7 MHz Power2); only their *ratios* to the communication
+//! constants matter for the shape of the curves.
+
+/// Per-operation time constants (seconds) of a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineProfile {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Message startup latency `t_s`.
+    pub t_s: f64,
+    /// Per-byte link time `t_w` (1 / bandwidth).
+    pub t_w: f64,
+    /// Additional per-hop latency on multi-hop routes.
+    pub t_hop: f64,
+    /// Per-hop bandwidth serialization factor in [0, 1]: 0 models
+    /// cut-through (wormhole) routing where distance costs only latency;
+    /// 1 models store-and-forward where every hop re-pays the full
+    /// transfer time. Realistic contention on loaded networks sits in
+    /// between.
+    pub store_forward: f64,
+    /// Hash-tree descent cost per traversal step (`t_travers`).
+    pub t_travers: f64,
+    /// Per-candidate comparison cost at a leaf.
+    pub t_check: f64,
+    /// Fixed overhead per distinct leaf visit.
+    pub t_leaf: f64,
+    /// Per-candidate hash-tree insertion cost (tree construction).
+    pub t_insert: f64,
+    /// Per-candidate `apriori_gen` cost (join + prune, paid on every
+    /// processor regardless of algorithm — candidates are regenerated
+    /// locally).
+    pub t_gen: f64,
+    /// Per-transaction bookkeeping cost in a database scan.
+    pub t_trans: f64,
+    /// Per-byte cost of (re-)reading the database from disk; 0 when the
+    /// database is memory-resident (the paper's T3E setup simulates I/O).
+    pub io_per_byte: f64,
+}
+
+impl MachineProfile {
+    /// The paper's Cray T3E: 600 MHz Alpha EV5 nodes, 3-D torus,
+    /// 303 MB/s effective bandwidth, 16 µs startup, memory-resident data.
+    pub fn cray_t3e() -> Self {
+        MachineProfile {
+            name: "Cray T3E",
+            t_s: 16e-6,
+            t_w: 1.0 / 303e6,
+            t_hop: 0.1e-6,
+            store_forward: 0.05,
+            t_travers: 60e-9,
+            t_check: 80e-9,
+            t_leaf: 120e-9,
+            t_insert: 1.2e-6,
+            t_gen: 1.2e-6,
+            t_trans: 200e-9,
+            io_per_byte: 0.0,
+        }
+    }
+
+    /// The paper's IBM SP2: 66.7 MHz Power2 nodes (≈9× slower per
+    /// operation), HPS switch at ~35 MB/s effective, disk-resident data.
+    pub fn ibm_sp2() -> Self {
+        MachineProfile {
+            name: "IBM SP2",
+            t_s: 40e-6,
+            t_w: 1.0 / 35e6,
+            t_hop: 0.5e-6,
+            store_forward: 0.0,
+            t_travers: 540e-9,
+            t_check: 720e-9,
+            t_leaf: 1.1e-6,
+            t_insert: 10.8e-6,
+            t_gen: 10.8e-6,
+            t_trans: 1.8e-6,
+            io_per_byte: 1.0 / 20e6,
+        }
+    }
+
+    /// A zero-latency, infinite-bandwidth machine: useful in tests to
+    /// isolate computation costs (communication becomes free).
+    pub fn ideal() -> Self {
+        MachineProfile {
+            name: "ideal",
+            t_s: 0.0,
+            t_w: 0.0,
+            t_hop: 0.0,
+            store_forward: 0.0,
+            t_travers: 60e-9,
+            t_check: 80e-9,
+            t_leaf: 120e-9,
+            t_insert: 1.2e-6,
+            t_gen: 1.2e-6,
+            t_trans: 200e-9,
+            io_per_byte: 0.0,
+        }
+    }
+
+    /// Effective bandwidth in MB/s (for reports).
+    pub fn bandwidth_mb_s(&self) -> f64 {
+        if self.t_w == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.t_w / 1e6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t3e_matches_paper_figures() {
+        let m = MachineProfile::cray_t3e();
+        assert!((m.bandwidth_mb_s() - 303.0).abs() < 1.0);
+        assert!((m.t_s - 16e-6).abs() < 1e-12);
+        assert_eq!(m.io_per_byte, 0.0, "T3E runs from memory buffers");
+    }
+
+    #[test]
+    fn sp2_is_slower_everywhere() {
+        let t3e = MachineProfile::cray_t3e();
+        let sp2 = MachineProfile::ibm_sp2();
+        assert!(sp2.t_w > t3e.t_w);
+        assert!(sp2.t_travers > t3e.t_travers);
+        assert!(sp2.io_per_byte > 0.0, "SP2 database is disk-resident");
+    }
+
+    #[test]
+    fn ideal_communication_is_free() {
+        let m = MachineProfile::ideal();
+        assert_eq!(m.t_s + m.t_w + m.t_hop, 0.0);
+        assert!(m.bandwidth_mb_s().is_infinite());
+        assert!(m.t_travers > 0.0, "compute still costs");
+    }
+}

@@ -1,0 +1,38 @@
+//! Message envelopes carried between ranks.
+
+use std::any::Any;
+
+/// A matching key: messages are addressed by (scope id, source rank, tag),
+/// mirroring MPI's (communicator, source, tag) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct MatchKey {
+    /// The scope (sub-communicator) the message belongs to.
+    pub scope: u64,
+    /// Global rank of the sender.
+    pub src: usize,
+    /// User tag.
+    pub tag: u64,
+}
+
+/// A message in flight. The payload is type-erased; the receiver downcasts
+/// with the type it expects (a mismatch is a protocol bug and panics with
+/// a diagnostic).
+pub(crate) struct Envelope {
+    pub key: MatchKey,
+    /// Virtual time at which the last byte reaches the receiver's inbox.
+    pub arrival: f64,
+    /// Wire size, charged again at the receiver as unload time
+    /// (single-port model).
+    pub bytes: usize,
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("key", &self.key)
+            .field("arrival", &self.arrival)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}

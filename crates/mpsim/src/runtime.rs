@@ -1,0 +1,654 @@
+//! Spawning and collecting a simulation.
+
+use crate::comm::Comm;
+use crate::machine::MachineProfile;
+use crate::message::Envelope;
+use crate::stats::{imbalance, RankStats};
+use crate::topology::Topology;
+use crate::trace::TraceEvent;
+use crossbeam::channel::unbounded;
+
+/// Configuration and entry point of a simulated machine.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    procs: usize,
+    machine: MachineProfile,
+    topology: Topology,
+    tracing: bool,
+}
+
+impl Simulator {
+    /// A simulator with `procs` ranks, defaulting to the Cray T3E profile
+    /// on a torus sized for `procs` (the paper's testbed).
+    ///
+    /// # Panics
+    /// If `procs == 0`.
+    pub fn new(procs: usize) -> Self {
+        assert!(procs >= 1, "need at least one processor");
+        Simulator {
+            procs,
+            machine: MachineProfile::cray_t3e(),
+            topology: Topology::torus_for(procs),
+            tracing: false,
+        }
+    }
+
+    /// Enables per-rank event tracing; the recorded timelines land in
+    /// [`SimResult::traces`].
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Overrides the machine profile.
+    pub fn machine(mut self, machine: MachineProfile) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Overrides the interconnect topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Runs `f` on every rank concurrently (one OS thread per rank) and
+    /// collects results and accounting. `f` receives this rank's
+    /// [`Comm`]; its return value lands in [`SimResult::results`] at the
+    /// rank's index.
+    ///
+    /// # Panics
+    /// Propagates any rank's panic.
+    pub fn run<T, F>(&self, f: F) -> SimResult<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let p = self.procs;
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..p).map(|_| unbounded::<Envelope>()).unzip();
+        type RankResult<T> = (T, RankStats, Vec<TraceEvent>);
+        let mut outputs: Vec<Option<RankResult<T>>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let senders = senders.clone();
+                let f = &f;
+                let machine = self.machine;
+                let topology = self.topology;
+                let tracing = self.tracing;
+                handles.push(scope.spawn(move || {
+                    let mut comm = Comm::new(rank, p, machine, topology, senders, inbox, tracing);
+                    let value = f(&mut comm);
+                    let stats = comm.stats();
+                    (value, stats, comm.take_trace())
+                }));
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(triple) => outputs[rank] = Some(triple),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        let mut results = Vec::with_capacity(p);
+        let mut ranks = Vec::with_capacity(p);
+        let mut traces = Vec::with_capacity(p);
+        for triple in outputs {
+            let (value, stats, trace) = triple.unwrap();
+            results.push(value);
+            ranks.push(stats);
+            traces.push(trace);
+        }
+        SimResult {
+            results,
+            ranks,
+            traces,
+        }
+    }
+}
+
+/// The outcome of a simulated run.
+#[derive(Debug)]
+pub struct SimResult<T> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank time/traffic accounting.
+    pub ranks: Vec<RankStats>,
+    /// Per-rank event timelines; empty vectors unless
+    /// [`Simulator::tracing`] was enabled.
+    pub traces: Vec<Vec<TraceEvent>>,
+}
+
+impl<T> SimResult<T> {
+    /// Response time: the maximum final clock over all ranks — what the
+    /// paper's y-axes plot.
+    pub fn response_time(&self) -> f64 {
+        self.ranks.iter().map(|r| r.clock).fold(0.0, f64::max)
+    }
+
+    /// Total bytes put on the wire by all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Total messages sent by all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.ranks.iter().map(|r| r.messages_sent).sum()
+    }
+
+    /// Load imbalance of compute time across ranks (`max/avg − 1`) — the
+    /// metric behind the paper's Section III-C load-balance quotes.
+    pub fn compute_imbalance(&self) -> f64 {
+        imbalance(self.ranks.iter().map(|r| r.busy))
+    }
+
+    /// Sum of idle (message-wait) time across ranks.
+    pub fn total_idle(&self) -> f64 {
+        self.ranks.iter().map(|r| r.idle).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineProfile;
+
+    fn ideal(procs: usize) -> Simulator {
+        Simulator::new(procs).machine(MachineProfile::ideal())
+    }
+
+    fn t3e(procs: usize) -> Simulator {
+        Simulator::new(procs).machine(MachineProfile::cray_t3e())
+    }
+
+    #[test]
+    fn single_rank_runs() {
+        let r = Simulator::new(1).run(|comm| {
+            comm.advance(1.5);
+            comm.rank()
+        });
+        assert_eq!(r.results, vec![0]);
+        assert!((r.response_time() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_procs_rejected() {
+        Simulator::new(0);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let r = t3e(2).run(|comm| {
+            let mut w = comm.world();
+            if w.rank() == 0 {
+                w.send(1, 7, vec![1u32, 2, 3], 12);
+                w.recv::<String>(1, 8)
+            } else {
+                let v: Vec<u32> = w.recv(0, 7);
+                w.send(0, 8, format!("got {}", v.len()), 16);
+                String::new()
+            }
+        });
+        assert_eq!(r.results[0], "got 3");
+        // Two messages, 28 bytes total.
+        assert_eq!(r.total_messages(), 2);
+        assert_eq!(r.total_bytes(), 28);
+        // Virtual time covers two startups at least.
+        assert!(r.response_time() >= 2.0 * MachineProfile::cray_t3e().t_s);
+    }
+
+    #[test]
+    fn receive_waits_for_arrival_and_counts_idle() {
+        let r = t3e(2).run(|comm| {
+            let mut w = comm.world();
+            if w.rank() == 0 {
+                // Sender computes for 1 ms before sending.
+                w.comm().advance(1e-3);
+                w.send(1, 0, 42u64, 1_000_000);
+            } else {
+                let v: u64 = w.recv(0, 0);
+                assert_eq!(v, 42);
+            }
+            w.comm().clock()
+        });
+        let m = MachineProfile::cray_t3e();
+        // Receiver clock ≥ sender compute + wire time of 1 MB.
+        let wire = 1e6 * m.t_w;
+        assert!(r.results[1] >= 1e-3 + wire);
+        // The receiver idled at least as long as the sender computed.
+        assert!(r.ranks[1].idle >= 1e-3 - 1e-9);
+    }
+
+    #[test]
+    fn isend_overlaps_compute() {
+        // With non-blocking send + compute, the sender's clock is
+        // max(compute, link time), not the sum.
+        let m = MachineProfile::cray_t3e();
+        let bytes = 10_000_000usize; // ~33 ms of wire time
+        let compute = 0.040; // 40 ms of compute
+        let r = t3e(2).run(move |comm| {
+            let mut w = comm.world();
+            if w.rank() == 0 {
+                let h = w.isend(1, 0, vec![0u8; 4], bytes);
+                w.comm().advance(compute);
+                w.wait_send(h);
+                w.comm().clock()
+            } else {
+                let _: Vec<u8> = w.recv(0, 0);
+                0.0
+            }
+        });
+        let wire = bytes as f64 * m.t_w + m.t_s;
+        assert!(wire < compute, "test premise: compute dominates");
+        // Only the sender CPU overhead (t_s) is unavoidable; the wire time
+        // fully overlaps the computation.
+        let sender_clock = r.results[0];
+        assert!(
+            (sender_clock - (compute + m.t_s)).abs() < 1e-9,
+            "overlap: clock {sender_clock} should be compute {compute} + t_s {}",
+            m.t_s
+        );
+    }
+
+    #[test]
+    fn blocking_send_serializes() {
+        // P-1 blocking sends serialize on the sender's single port — the
+        // DD communication pattern.
+        let p = 8;
+        let bytes = 1_000_000usize;
+        let r = t3e(p).run(move |comm| {
+            let mut w = comm.world();
+            let me = w.rank();
+            for other in 0..p {
+                if other != me {
+                    w.send(other, 1, (), bytes);
+                }
+            }
+            let mut got = 0;
+            for other in 0..p {
+                if other != me {
+                    w.recv::<()>(other, 1);
+                    got += 1;
+                }
+            }
+            got
+        });
+        assert!(r.results.iter().all(|&g| g == p - 1));
+        let m = MachineProfile::cray_t3e();
+        // Sender-side alone is (P-1)(t_s + b·t_w); unloading adds more.
+        let min_time = (p - 1) as f64 * (m.t_s + bytes as f64 * m.t_w);
+        assert!(
+            r.response_time() >= min_time,
+            "{} < {min_time}",
+            r.response_time()
+        );
+    }
+
+    #[test]
+    fn allreduce_sums_across_all_ranks() {
+        for p in [1, 2, 3, 4, 7, 8] {
+            let r = ideal(p).run(move |comm| {
+                let mut v: Vec<u64> = (0..10)
+                    .map(|i| (comm.rank() as u64 + 1) * (i + 1))
+                    .collect();
+                comm.world().allreduce_sum_u64(&mut v);
+                v
+            });
+            let total_rank: u64 = (1..=p as u64).sum();
+            for ranks_v in &r.results {
+                for (i, &x) in ranks_v.iter().enumerate() {
+                    assert_eq!(x, total_rank * (i as u64 + 1), "p={p} idx={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_on_vector_shorter_than_ranks() {
+        let r = ideal(8).run(|comm| {
+            let mut v = vec![1u64; 3];
+            comm.world().allreduce_sum_u64(&mut v);
+            v
+        });
+        assert!(r.results.iter().all(|v| v == &vec![8u64; 3]));
+    }
+
+    #[test]
+    fn allreduce_cost_is_order_m_not_pm() {
+        // Ring reduce-scatter + allgather: per-rank time grows with M but
+        // only weakly with P (startup terms), unlike a naive gather.
+        let m_entries = 100_000usize;
+        let time = |p: usize| {
+            t3e(p)
+                .run(move |comm| {
+                    let mut v = vec![1u64; m_entries];
+                    comm.world().allreduce_sum_u64(&mut v);
+                })
+                .response_time()
+        };
+        let t4 = time(4);
+        let t16 = time(16);
+        assert!(
+            t16 < 2.0 * t4,
+            "O(M) reduction should not grow ~4x with P: {t4} -> {t16}"
+        );
+    }
+
+    #[test]
+    fn allgather_delivers_everyones_value_in_rank_order() {
+        for p in [2, 3, 5, 8] {
+            let r = ideal(p).run(|comm| {
+                let mine = format!("rank{}", comm.rank());
+                comm.world().allgather(mine, 8)
+            });
+            for got in &r.results {
+                let want: Vec<String> = (0..p).map(|i| format!("rank{i}")).collect();
+                assert_eq!(got, &want, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let r = t3e(4).run(|comm| {
+            // Rank 2 computes much longer than the others.
+            if comm.rank() == 2 {
+                comm.advance(0.5);
+            }
+            comm.world().barrier();
+            comm.clock()
+        });
+        // Nobody's post-barrier clock is below the slow rank's compute.
+        for (rank, &c) in r.results.iter().enumerate() {
+            assert!(c >= 0.5, "rank {rank} clock {c} escaped the barrier");
+        }
+    }
+
+    #[test]
+    fn scopes_partition_communication() {
+        // Two disjoint pair-scopes exchange values independently.
+        let r = ideal(4).run(|comm| {
+            let me = comm.rank();
+            let members = if me < 2 { vec![0, 1] } else { vec![2, 3] };
+            let id = if me < 2 { 10 } else { 11 };
+            let mut s = comm.scope(id, members);
+            let peer = 1 - s.rank();
+            s.send(peer, 0, me as u64, 8);
+            s.recv::<u64>(peer, 0)
+        });
+        assert_eq!(r.results, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn grid_scopes_like_hd() {
+        // 2×3 grid: column allreduce then row allgather, mirroring HD's
+        // communication structure.
+        let (rows, cols) = (2usize, 3usize);
+        let r = ideal(rows * cols).run(move |comm| {
+            let me = comm.rank();
+            let (row, col) = (me / cols, me % cols);
+            // Column scope: ranks sharing `col`.
+            let col_members: Vec<usize> = (0..rows).map(|r| r * cols + col).collect();
+            let mut v = vec![me as u64];
+            comm.scope(100 + col as u64, col_members)
+                .allreduce_sum_u64(&mut v);
+            // Row scope: ranks sharing `row`.
+            let row_members: Vec<usize> = (0..cols).map(|c| row * cols + c).collect();
+            let gathered = comm.scope(200 + row as u64, row_members).allgather(v[0], 8);
+            gathered
+        });
+        // Column sums: col c sums ranks {c, c+3} → {3, 5, 7}.
+        for (rank, got) in r.results.iter().enumerate() {
+            let _ = rank;
+            assert_eq!(got, &vec![3u64, 5, 7]);
+        }
+    }
+
+    #[test]
+    fn io_charges_accrue() {
+        let sim = Simulator::new(1).machine(MachineProfile::ibm_sp2());
+        let r = sim.run(|comm| {
+            comm.charge_io(20_000_000); // 20 MB at 20 MB/s = 1 s
+        });
+        assert!((r.ranks[0].io - 1.0).abs() < 1e-9);
+        assert!((r.response_time() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_virtual_time() {
+        let run_once = || {
+            t3e(6)
+                .run(|comm| {
+                    let mut v = vec![comm.rank() as u64; 1000];
+                    comm.advance(1e-4 * (comm.rank() as f64 + 1.0));
+                    let mut w = comm.world();
+                    w.allreduce_sum_u64(&mut v);
+                    let all = w.allgather(v[0], 8);
+                    all.len() as u64 + v[0]
+                })
+                .response_time()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "virtual time must not depend on thread scheduling");
+    }
+
+    #[test]
+    fn stats_account_where_time_went() {
+        let r = t3e(2).run(|comm| {
+            comm.advance(0.01);
+            let mut w = comm.world();
+            let peer = 1 - w.rank();
+            w.send(peer, 0, vec![0u8; 100], 100);
+            let _: Vec<u8> = w.recv(peer, 0);
+        });
+        for s in &r.ranks {
+            assert!((s.busy - 0.01).abs() < 1e-12);
+            assert!(s.clock >= s.busy + s.idle + s.io - 1e-12);
+            assert_eq!(s.messages_sent, 1);
+            assert_eq!(s.bytes_sent, 100);
+            assert_eq!(s.bytes_received, 100);
+        }
+    }
+
+    #[test]
+    fn compute_imbalance_reported() {
+        let r = ideal(4).run(|comm| {
+            comm.advance(if comm.rank() == 0 { 2.0 } else { 1.0 });
+            comm.world().barrier();
+        });
+        // avg = 1.25, max = 2 → 0.6.
+        assert!((r.compute_imbalance() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for root in 0..p {
+                let r = ideal(p).run(move |comm| {
+                    let mut w = comm.world();
+                    let value = (w.rank() == root).then(|| format!("payload-{root}"));
+                    w.broadcast(root, value, 16)
+                });
+                assert!(
+                    r.results.iter().all(|v| v == &format!("payload-{root}")),
+                    "p={p} root={root}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_cost_is_logarithmic() {
+        // Binomial tree: doubling P adds one round, not P more sends.
+        let bytes = 1_000_000usize;
+        let time = |p: usize| {
+            t3e(p)
+                .run(move |comm| {
+                    let mut w = comm.world();
+                    let value = (w.rank() == 0).then(|| vec![0u8; 4]);
+                    w.broadcast(0, value, bytes);
+                })
+                .response_time()
+        };
+        let t8 = time(8);
+        let t64 = time(64);
+        assert!(
+            t64 < 3.0 * t8,
+            "log-depth broadcast should not grow ~8x: {t8} -> {t64}"
+        );
+    }
+
+    #[test]
+    fn gather_collects_in_member_order() {
+        let r = ideal(5).run(|comm| {
+            let mut w = comm.world();
+            let mine = w.rank() as u64 * 10;
+            w.gather(2, mine, 8)
+        });
+        for (rank, got) in r.results.iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(got.as_deref(), Some(&[0u64, 10, 20, 30, 40][..]));
+            } else {
+                assert!(got.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_allreduce_matches_ring() {
+        for p in [2usize, 4, 8, 16] {
+            let r = ideal(p).run(move |comm| {
+                let mut ring: Vec<u64> = (0..7).map(|i| comm.rank() as u64 + i).collect();
+                let mut dbl = ring.clone();
+                let mut w = comm.world();
+                w.allreduce_sum_u64(&mut ring);
+                w.allreduce_sum_u64_doubling(&mut dbl);
+                (ring, dbl)
+            });
+            for (ring, dbl) in &r.results {
+                assert_eq!(ring, dbl, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k members")]
+    fn doubling_rejects_non_power_of_two() {
+        ideal(3).run(|comm| {
+            let mut v = vec![1u64];
+            comm.world().allreduce_sum_u64_doubling(&mut v);
+        });
+    }
+
+    #[test]
+    fn doubling_beats_ring_on_short_vectors_loses_on_long() {
+        // The classic trade-off: log P startups vs O(M) bytes.
+        let time = |len: usize, doubling: bool| {
+            t3e(32)
+                .run(move |comm| {
+                    let mut v = vec![1u64; len];
+                    let mut w = comm.world();
+                    if doubling {
+                        w.allreduce_sum_u64_doubling(&mut v);
+                    } else {
+                        w.allreduce_sum_u64(&mut v);
+                    }
+                })
+                .response_time()
+        };
+        assert!(
+            time(4, true) < time(4, false),
+            "short vector: doubling (log P startups) must win"
+        );
+        assert!(
+            time(2_000_000, true) > time(2_000_000, false),
+            "long vector: ring (O(M) bytes) must win"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn receive_type_mismatch_is_loud() {
+        ideal(2).run(|comm| {
+            let mut w = comm.world();
+            if w.rank() == 0 {
+                w.send(1, 0, 42u64, 8);
+            } else {
+                // Protocol bug: sender shipped u64, receiver expects String.
+                let _: String = w.recv(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "member of the scope")]
+    fn non_member_scope_rejected() {
+        ideal(3).run(|comm| {
+            if comm.rank() == 2 {
+                // Rank 2 opens a scope it does not belong to.
+                let _ = comm.scope(9, vec![0, 1]);
+            }
+        });
+    }
+
+    #[test]
+    fn rank_panic_propagates_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            ideal(3).run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                // Other ranks do independent work and finish.
+                comm.advance(1e-6);
+            })
+        });
+        assert!(result.is_err(), "the simulation must surface the panic");
+    }
+
+    #[test]
+    fn tracing_records_the_timeline() {
+        let r = t3e(2).tracing(true).run(|comm| {
+            comm.advance(0.5e-3);
+            let mut w = comm.world();
+            let peer = 1 - w.rank();
+            w.send(peer, 0, 7u64, 64);
+            let _: u64 = w.recv(peer, 0);
+            comm.charge_io(0);
+        });
+        assert_eq!(r.traces.len(), 2);
+        for (rank, trace) in r.traces.iter().enumerate() {
+            let classes: Vec<char> = trace.iter().map(|e| e.class()).collect();
+            assert!(classes.contains(&'C'), "rank {rank}: {classes:?}");
+            assert!(classes.contains(&'S'));
+            assert!(classes.contains(&'R'));
+            // Events are recorded in clock order per rank.
+            let times: Vec<f64> = trace.iter().map(crate::TraceEvent::at).collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        }
+        let rendered = crate::render_timeline(&r.traces, 0);
+        assert!(rendered.contains("compute"));
+        assert!(rendered.contains("-> r"));
+        // Tracing off ⇒ empty timelines.
+        let quiet = t3e(2).run(|comm| comm.advance(1e-3));
+        assert!(quiet.traces.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn many_ranks_run_on_one_core() {
+        // 128 logical processors — the paper's full T3E — on any host.
+        let r = ideal(128).run(|comm| {
+            let mut v = vec![1u64; 4];
+            comm.world().allreduce_sum_u64(&mut v);
+            v[0]
+        });
+        assert!(r.results.iter().all(|&x| x == 128));
+    }
+}

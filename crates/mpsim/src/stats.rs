@@ -1,0 +1,88 @@
+//! Per-rank accounting of virtual time and traffic.
+
+/// Where one rank's virtual time went, plus its traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankStats {
+    /// Final virtual clock (response time of this rank).
+    pub clock: f64,
+    /// Time spent in explicit compute charges.
+    pub busy: f64,
+    /// Time spent blocked waiting for messages that had not arrived.
+    pub idle: f64,
+    /// Time spent in I/O charges.
+    pub io: f64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub messages_received: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+}
+
+impl RankStats {
+    /// Time attributable to communication: everything that is neither
+    /// compute, idle wait, nor I/O.
+    pub fn comm_time(&self) -> f64 {
+        (self.clock - self.busy - self.idle - self.io).max(0.0)
+    }
+}
+
+/// Load imbalance across ranks for any per-rank metric: `max/avg − 1`.
+pub fn imbalance(values: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    let avg = v.iter().sum::<f64>() / v.len() as f64;
+    if avg <= 0.0 {
+        return 0.0;
+    }
+    let max = v.iter().cloned().fold(f64::MIN, f64::max);
+    max / avg - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_time_is_residual() {
+        let s = RankStats {
+            clock: 10.0,
+            busy: 6.0,
+            idle: 2.0,
+            io: 1.0,
+            ..Default::default()
+        };
+        assert!((s.comm_time() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_time_never_negative() {
+        let s = RankStats {
+            clock: 1.0,
+            busy: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(s.comm_time(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_equal_loads_is_zero() {
+        assert!(imbalance([3.0, 3.0, 3.0]) < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_metric_value() {
+        // avg 2, max 3 → 0.5.
+        assert!((imbalance([1.0, 2.0, 3.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_degenerate_inputs() {
+        assert_eq!(imbalance([]), 0.0);
+        assert_eq!(imbalance([0.0, 0.0]), 0.0);
+    }
+}

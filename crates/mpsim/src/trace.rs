@@ -1,0 +1,174 @@
+//! Optional per-rank event traces.
+//!
+//! When enabled on the [`Simulator`](crate::Simulator), every rank records
+//! a timeline of virtual-time events (compute, send, receive, I/O), which
+//! the post-processing helpers can render as a textual Gantt-style
+//! timeline — invaluable when a new algorithm's clocks come out wrong.
+
+/// One virtual-time event on a rank's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Local computation: `[start, start + duration)`.
+    Compute {
+        /// Start of the charge (virtual seconds).
+        start: f64,
+        /// Duration (virtual seconds).
+        duration: f64,
+    },
+    /// A message send (CPU-overhead start time; link occupancy until
+    /// `completion`).
+    Send {
+        /// When the send was issued.
+        start: f64,
+        /// Sender-side completion (link free).
+        completion: f64,
+        /// Destination global rank.
+        dst: usize,
+        /// Wire bytes.
+        bytes: usize,
+    },
+    /// A completed receive.
+    Recv {
+        /// When the receive completed (after arrival + unload).
+        at: f64,
+        /// Time spent blocked waiting for the message.
+        idle: f64,
+        /// Source global rank.
+        src: usize,
+        /// Wire bytes.
+        bytes: usize,
+    },
+    /// An I/O charge.
+    Io {
+        /// Start of the charge.
+        start: f64,
+        /// Duration.
+        duration: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's (start) timestamp.
+    pub fn at(&self) -> f64 {
+        match *self {
+            TraceEvent::Compute { start, .. } => start,
+            TraceEvent::Send { start, .. } => start,
+            TraceEvent::Recv { at, .. } => at,
+            TraceEvent::Io { start, .. } => start,
+        }
+    }
+
+    /// Single-letter class for compact rendering.
+    pub fn class(&self) -> char {
+        match self {
+            TraceEvent::Compute { .. } => 'C',
+            TraceEvent::Send { .. } => 'S',
+            TraceEvent::Recv { .. } => 'R',
+            TraceEvent::Io { .. } => 'I',
+        }
+    }
+}
+
+/// Renders per-rank timelines as text, one line per event, interleaved by
+/// time — `limit` caps the number of lines (0 = unlimited).
+pub fn render_timeline(traces: &[Vec<TraceEvent>], limit: usize) -> String {
+    let mut events: Vec<(usize, &TraceEvent)> = traces
+        .iter()
+        .enumerate()
+        .flat_map(|(rank, t)| t.iter().map(move |e| (rank, e)))
+        .collect();
+    events.sort_by(|a, b| a.1.at().partial_cmp(&b.1.at()).unwrap());
+    let mut out = String::new();
+    for (i, (rank, e)) in events.iter().enumerate() {
+        if limit != 0 && i >= limit {
+            out.push_str(&format!("... ({} more events)\n", events.len() - limit));
+            break;
+        }
+        let line = match e {
+            TraceEvent::Compute { start, duration } => {
+                format!("{start:>12.6}s r{rank:<3} C compute {:.6}s", duration)
+            }
+            TraceEvent::Send {
+                start,
+                completion,
+                dst,
+                bytes,
+            } => format!(
+                "{start:>12.6}s r{rank:<3} S -> r{dst} {bytes}B (link free {completion:.6}s)"
+            ),
+            TraceEvent::Recv {
+                at,
+                idle,
+                src,
+                bytes,
+            } => {
+                format!("{at:>12.6}s r{rank:<3} R <- r{src} {bytes}B (idle {idle:.6}s)")
+            }
+            TraceEvent::Io { start, duration } => {
+                format!("{start:>12.6}s r{rank:<3} I io {duration:.6}s")
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_report_timestamps_and_classes() {
+        let c = TraceEvent::Compute {
+            start: 1.0,
+            duration: 0.5,
+        };
+        let s = TraceEvent::Send {
+            start: 2.0,
+            completion: 2.1,
+            dst: 3,
+            bytes: 100,
+        };
+        let r = TraceEvent::Recv {
+            at: 3.0,
+            idle: 0.2,
+            src: 1,
+            bytes: 50,
+        };
+        let io = TraceEvent::Io {
+            start: 4.0,
+            duration: 0.1,
+        };
+        assert_eq!(c.at(), 1.0);
+        assert_eq!(s.at(), 2.0);
+        assert_eq!(r.at(), 3.0);
+        assert_eq!(io.at(), 4.0);
+        assert_eq!(
+            [c.class(), s.class(), r.class(), io.class()],
+            ['C', 'S', 'R', 'I']
+        );
+    }
+
+    #[test]
+    fn timeline_sorts_and_limits() {
+        let traces = vec![
+            vec![TraceEvent::Compute {
+                start: 2.0,
+                duration: 1.0,
+            }],
+            vec![TraceEvent::Compute {
+                start: 1.0,
+                duration: 1.0,
+            }],
+        ];
+        let full = render_timeline(&traces, 0);
+        let first = full.lines().next().unwrap();
+        assert!(
+            first.contains("r1"),
+            "earlier event (rank 1) first: {first}"
+        );
+        let limited = render_timeline(&traces, 1);
+        assert!(limited.contains("1 more events"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Count Distribution (Section III-A, Figure 4).
+//!
+//! Every processor holds the **entire** candidate hash tree, counts its
+//! local N/P transactions against it, then a global reduction sums the
+//! count vectors (candidate order is identical everywhere because
+//! `apriori_gen` is deterministic). CD communicates only `O(M)` counts per
+//! pass — hence its excellent transaction scaling — but builds the full
+//! tree serially on every processor and, when `|C_k|` exceeds the
+//! per-processor memory capacity, partitions the tree and rescans the
+//! database once per partition (the Figure 12 penalty).
+
+use crate::common::{build_tree_charged, count_batch_charged, PassResult, RankCtx};
+use crate::config::ParallelParams;
+use armine_core::hashtree::TreeStats;
+use armine_core::ItemSet;
+use armine_mpsim::Comm;
+
+/// One CD counting pass.
+pub(crate) fn count_pass(
+    comm: &mut Comm,
+    ctx: &RankCtx,
+    k: usize,
+    candidates: Vec<ItemSet>,
+    params: &ParallelParams,
+) -> PassResult {
+    let p = comm.size();
+    let total = candidates.len();
+    let cap = params.memory_capacity.unwrap_or(usize::MAX).max(1);
+    let mut level = Vec::new();
+    let mut stats = TreeStats::default();
+    let mut scans = 0usize;
+    let mut idx = 0usize;
+    let mut first_chunk = true;
+    while idx < total {
+        let end = (idx + cap).min(total);
+        // Replicated tree over this chunk. apriori_gen is charged once.
+        let gen_charge = if first_chunk { total } else { 0 };
+        let mut tree = build_tree_charged(
+            comm,
+            k,
+            params.tree,
+            candidates[idx..end].to_vec(),
+            gen_charge,
+        );
+        first_chunk = false;
+        // Each scan (re-)reads the local slice of the database.
+        comm.charge_io(ctx.local_bytes());
+        stats = stats.merged(&count_batch_charged(
+            comm,
+            &mut tree,
+            &ctx.local,
+            &armine_core::hashtree::OwnershipFilter::all(),
+        ));
+        // Global reduction: sum the chunk's count vector across all ranks.
+        let mut counts = tree.count_vector();
+        comm.world().allreduce_sum_u64(&mut counts);
+        tree.set_count_vector(&counts);
+        level.extend(tree.frequent(ctx.min_count));
+        scans += 1;
+        idx = end;
+    }
+    // Chunks are contiguous slices of the sorted candidate list, so the
+    // concatenated level is already lexicographically sorted.
+    PassResult {
+        level,
+        stats,
+        db_scans: scans.max(1),
+        grid: (1, p),
+        candidate_imbalance: 0.0,
+        counted_candidates: None,
+    }
+}

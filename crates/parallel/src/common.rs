@@ -1,0 +1,320 @@
+//! Machinery shared by all four parallel formulations: the per-rank pass
+//! loop, cost charging, pass-1 counting, paging, and the ring-pipelined
+//! data movement of Figure 6.
+
+use armine_core::apriori::apriori_gen;
+use armine_core::hashtree::{HashTree, HashTreeParams, OwnershipFilter, TreeStats};
+use armine_core::{Item, ItemSet, Transaction};
+use armine_mpsim::{Comm, Scope};
+
+/// Tag space for transaction pages (round/step encoded in high bits).
+pub(crate) const TAG_DATA: u64 = 1 << 20;
+
+/// What every rank knows at the start of a run.
+pub(crate) struct RankCtx {
+    /// This rank's N/P slice of the database.
+    pub local: Vec<Transaction>,
+    /// Item-universe size.
+    pub num_items: u32,
+    /// Resolved absolute minimum support count.
+    pub min_count: u64,
+    /// Transactions per communication buffer.
+    pub page_size: usize,
+}
+
+impl RankCtx {
+    /// Wire bytes of this rank's whole local slice.
+    pub fn local_bytes(&self) -> usize {
+        self.local.iter().map(Transaction::wire_size).sum()
+    }
+}
+
+/// What one pass produced on this rank. `level` is the **global** `F_k`,
+/// identical on every rank (each algorithm ends its pass with an exchange
+/// that establishes this).
+pub(crate) struct PassResult {
+    pub level: Vec<(ItemSet, u64)>,
+    pub stats: TreeStats,
+    pub db_scans: usize,
+    pub grid: (usize, usize),
+    pub candidate_imbalance: f64,
+    /// Candidates actually counted; differs from `|C_k|` only for
+    /// filter-pruning algorithms (PDM). `None` means "all of them".
+    pub counted_candidates: Option<usize>,
+}
+
+/// Per-pass record a rank keeps for the metrics assembly.
+pub(crate) struct RankPass {
+    pub k: usize,
+    pub candidates_total: usize,
+    pub counted_candidates: usize,
+    pub grid: (usize, usize),
+    pub stats: TreeStats,
+    pub db_scans: usize,
+    pub candidate_imbalance: f64,
+    pub clock_end: f64,
+}
+
+/// A rank's full output.
+pub(crate) struct RankOutput {
+    pub levels: Vec<Vec<(ItemSet, u64)>>,
+    pub passes: Vec<RankPass>,
+}
+
+/// Charges the clock for counted hash-tree work (everything except
+/// insertions, which [`build_tree_charged`] prices at build time).
+pub(crate) fn charge_tree_work(comm: &mut Comm, delta: &TreeStats) {
+    let m = *comm.machine();
+    comm.advance(
+        delta.inserts as f64 * m.t_insert
+            + delta.transactions as f64 * m.t_trans
+            + delta.traversal_steps as f64 * m.t_travers
+            + delta.distinct_leaf_visits as f64 * m.t_leaf
+            + delta.candidate_checks as f64 * m.t_check,
+    );
+}
+
+/// Builds a hash tree over `local_candidates`, charging `apriori_gen` work
+/// for the **full** candidate set (every processor regenerates all of
+/// `C_k` before keeping its share — Section III-C) plus insertion work for
+/// the local share only. Returns the tree with clean counters.
+pub(crate) fn build_tree_charged(
+    comm: &mut Comm,
+    k: usize,
+    tree_params: HashTreeParams,
+    local_candidates: Vec<ItemSet>,
+    total_candidates: usize,
+) -> HashTree {
+    let m = *comm.machine();
+    comm.advance(total_candidates as f64 * m.t_gen);
+    let mut tree = HashTree::build(k, tree_params, local_candidates);
+    comm.advance(tree.stats().inserts as f64 * m.t_insert);
+    tree.reset_stats();
+    tree
+}
+
+/// Counts one batch of transactions through the tree, charges the clock
+/// for the work actually performed, and returns the counters (for pass
+/// metrics). The tree's counters are reset afterwards.
+pub(crate) fn count_batch_charged(
+    comm: &mut Comm,
+    tree: &mut HashTree,
+    batch: &[Transaction],
+    filter: &OwnershipFilter,
+) -> TreeStats {
+    tree.count_all(batch, filter);
+    let delta = *tree.stats();
+    tree.reset_stats();
+    charge_tree_work(comm, &delta);
+    delta
+}
+
+/// Pass 1: dense local item counting + global reduction. Identical in all
+/// four algorithms (the candidate set `C_1` is the item universe; no tree
+/// is needed).
+pub(crate) fn parallel_pass1(comm: &mut Comm, ctx: &RankCtx) -> Vec<(ItemSet, u64)> {
+    let mut counts = vec![0u64; ctx.num_items as usize];
+    let mut touched = 0usize;
+    for t in &ctx.local {
+        for item in t.items() {
+            counts[item.index()] += 1;
+        }
+        touched += t.len();
+    }
+    let m = *comm.machine();
+    comm.advance(touched as f64 * m.t_travers + ctx.local.len() as f64 * m.t_trans);
+    comm.charge_io(ctx.local_bytes());
+    comm.world().allreduce_sum_u64(&mut counts);
+    counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= ctx.min_count)
+        .map(|(id, &c)| (ItemSet::singleton(Item(id as u32)), c))
+        .collect()
+}
+
+/// Splits a slice of transactions into owned pages of at most `page_size`.
+pub(crate) fn paginate(transactions: &[Transaction], page_size: usize) -> Vec<Vec<Transaction>> {
+    transactions
+        .chunks(page_size.max(1))
+        .map(<[Transaction]>::to_vec)
+        .collect()
+}
+
+/// Wire bytes of one page.
+pub(crate) fn page_bytes(page: &[Transaction]) -> usize {
+    page.iter().map(Transaction::wire_size).sum()
+}
+
+/// Wire bytes of a frequent-set level exchanged between processors.
+pub(crate) fn level_wire_size(level: &[(ItemSet, u64)]) -> usize {
+    8 + level.iter().map(|(s, _)| 4 * s.len() + 8).sum::<usize>()
+}
+
+/// Merges per-processor frequent levels (disjoint candidate partitions)
+/// into the global, lexicographically sorted `F_k`.
+pub(crate) fn merge_levels(parts: Vec<Vec<(ItemSet, u64)>>) -> Vec<(ItemSet, u64)> {
+    let mut merged: Vec<(ItemSet, u64)> = parts.into_iter().flatten().collect();
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    debug_assert!(
+        merged.windows(2).all(|w| w[0].0 < w[1].0),
+        "candidate partitions must be disjoint"
+    );
+    merged
+}
+
+/// The ring-pipelined all-to-all data movement of Figure 6: every member's
+/// pages visit every member exactly once; the in-hand buffer is processed
+/// while the shift is in flight (asynchronous send/recv → compute and
+/// communication overlap in virtual time). Accumulates and returns the
+/// counting work performed.
+pub(crate) fn ring_shift_count(
+    scope: &mut Scope<'_>,
+    my_pages: &[Vec<Transaction>],
+    max_pages: usize,
+    tree: &mut HashTree,
+    filter: &OwnershipFilter,
+) -> TreeStats {
+    let p = scope.size();
+    let mut stats = TreeStats::default();
+    for page_idx in 0..max_pages {
+        // FillBuffer: my own page for this round (possibly empty if my
+        // slice has fewer pages than the longest member's).
+        let mut sbuf: Vec<Transaction> = my_pages.get(page_idx).cloned().unwrap_or_default();
+        for step in 0..p.saturating_sub(1) {
+            let tag = TAG_DATA | ((page_idx as u64) << 24) | ((step as u64) << 8);
+            let rh = scope.irecv(scope.left(), tag);
+            let bytes = page_bytes(&sbuf);
+            let sh = scope.isend(scope.right(), tag, sbuf.clone(), bytes);
+            // Subset(HTree, SBuf) — overlapped with the in-flight shift.
+            tree.count_all(&sbuf, filter);
+            let delta = *tree.stats();
+            tree.reset_stats();
+            charge_tree_work(scope.comm(), &delta);
+            stats = stats.merged(&delta);
+            // MPI_Waitall.
+            let incoming: Vec<Transaction> = scope.wait_recv(rh);
+            scope.wait_send(sh);
+            sbuf = incoming;
+        }
+        // Process the final buffer (travelled the whole ring).
+        tree.count_all(&sbuf, filter);
+        let delta = *tree.stats();
+        tree.reset_stats();
+        charge_tree_work(scope.comm(), &delta);
+        stats = stats.merged(&delta);
+    }
+    stats
+}
+
+/// The shared multi-pass driver: pass 1 then repeated
+/// `apriori_gen` → algorithm-specific counting, until a pass yields no
+/// frequent itemsets.
+pub(crate) fn run_rank(
+    comm: &mut Comm,
+    ctx: &RankCtx,
+    max_k: Option<usize>,
+    mut count_pass: impl FnMut(
+        &mut Comm,
+        &RankCtx,
+        usize,
+        Vec<ItemSet>,
+        &[(ItemSet, u64)],
+    ) -> PassResult,
+) -> RankOutput {
+    let mut levels = Vec::new();
+    let mut passes = Vec::new();
+
+    let f1 = parallel_pass1(comm, ctx);
+    passes.push(RankPass {
+        k: 1,
+        candidates_total: ctx.num_items as usize,
+        counted_candidates: ctx.num_items as usize,
+        grid: (1, comm.size()),
+        stats: TreeStats::default(),
+        db_scans: 1,
+        candidate_imbalance: 0.0,
+        clock_end: comm.clock(),
+    });
+    let mut prev: Vec<ItemSet> = f1.iter().map(|(s, _)| s.clone()).collect();
+    levels.push(f1);
+
+    let mut k = 2;
+    while !prev.is_empty() && max_k.is_none_or(|m| k <= m) {
+        let candidates = apriori_gen(&prev);
+        if candidates.is_empty() {
+            break;
+        }
+        let total = candidates.len();
+        let prev_level: &[(ItemSet, u64)] = levels.last().map_or(&[], Vec::as_slice);
+        let result = count_pass(comm, ctx, k, candidates, prev_level);
+        prev = result.level.iter().map(|(s, _)| s.clone()).collect();
+        passes.push(RankPass {
+            k,
+            candidates_total: total,
+            counted_candidates: result.counted_candidates.unwrap_or(total),
+            grid: result.grid,
+            stats: result.stats,
+            db_scans: result.db_scans,
+            candidate_imbalance: result.candidate_imbalance,
+            clock_end: comm.clock(),
+        });
+        levels.push(result.level);
+        k += 1;
+    }
+    RankOutput { levels, passes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(tid: u64, ids: &[u32]) -> Transaction {
+        Transaction::new(tid, ids.iter().map(|&i| Item(i)).collect())
+    }
+
+    #[test]
+    fn paginate_splits_and_preserves_order() {
+        let txs: Vec<Transaction> = (0..7).map(|i| tx(i, &[i as u32])).collect();
+        let pages = paginate(&txs, 3);
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0].len(), 3);
+        assert_eq!(pages[2].len(), 1);
+        let flat: Vec<u64> = pages.iter().flatten().map(Transaction::tid).collect();
+        assert_eq!(flat, (0..7).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn paginate_empty() {
+        assert!(paginate(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn page_bytes_sums_wire_sizes() {
+        let page = vec![tx(1, &[1, 2]), tx(2, &[3])];
+        assert_eq!(page_bytes(&page), (12 + 8) + (12 + 4));
+    }
+
+    #[test]
+    fn level_wire_size_counts_items_and_counts() {
+        let level = vec![(ItemSet::from([1, 2]), 5u64), (ItemSet::from([3]), 2u64)];
+        // 8 header + (8 + 8) + (4 + 8).
+        assert_eq!(level_wire_size(&level), 8 + 16 + 12);
+    }
+
+    #[test]
+    fn merge_levels_sorts_disjoint_parts() {
+        let a = vec![(ItemSet::from([2, 3]), 4u64)];
+        let b = vec![(ItemSet::from([1, 2]), 7u64), (ItemSet::from([5, 6]), 1u64)];
+        let merged = merge_levels(vec![a, b]);
+        let sets: Vec<&ItemSet> = merged.iter().map(|(s, _)| s).collect();
+        assert_eq!(
+            sets,
+            vec![
+                &ItemSet::from([1, 2]),
+                &ItemSet::from([2, 3]),
+                &ItemSet::from([5, 6])
+            ]
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared knobs of the parallel formulations.
+
+use armine_core::apriori::MinSupport;
+use armine_core::hashtree::HashTreeParams;
+
+/// Parameters common to every parallel formulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelParams {
+    /// Minimum support threshold (fraction is relative to the whole
+    /// database, not a processor's slice).
+    pub min_support: MinSupport,
+    /// Hash-tree shape on every processor.
+    pub tree: HashTreeParams,
+    /// Transactions per communication buffer ("one page" in the paper;
+    /// their pages held ≈1000 transactions at 63 KB per 1000).
+    pub page_size: usize,
+    /// Per-processor hash-tree capacity in candidates. Only CD partitions
+    /// its (replicated) tree and rescans when `|C_k|` exceeds this — the
+    /// multi-scan penalty of Figures 12 and 15. DD/IDD/HD exploit
+    /// aggregate memory instead.
+    pub memory_capacity: Option<usize>,
+    /// Stop after this pass (Figure 13 measures pass 3 alone).
+    pub max_k: Option<usize>,
+    /// For IDD's two-level refinement: split a first item across
+    /// processors when it starts more than this many candidates. `None`
+    /// uses plain single-level partitioning (the paper's default).
+    pub split_threshold: Option<u64>,
+}
+
+impl ParallelParams {
+    /// Params with a fractional minimum support, defaults elsewhere.
+    pub fn with_min_support(fraction: f64) -> Self {
+        ParallelParams {
+            min_support: MinSupport::Fraction(fraction),
+            ..Self::default_counts(0)
+        }
+    }
+
+    /// Params with an absolute minimum support count, defaults elsewhere.
+    pub fn with_min_support_count(count: u64) -> Self {
+        Self::default_counts(count)
+    }
+
+    fn default_counts(count: u64) -> Self {
+        ParallelParams {
+            min_support: MinSupport::Count(count),
+            tree: HashTreeParams::default(),
+            page_size: 1000,
+            memory_capacity: None,
+            max_k: None,
+            split_threshold: None,
+        }
+    }
+
+    /// Sets the hash-tree shape.
+    pub fn tree(mut self, tree: HashTreeParams) -> Self {
+        self.tree = tree;
+        self
+    }
+
+    /// Sets the communication buffer size in transactions.
+    pub fn page_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "page size must be positive");
+        self.page_size = n;
+        self
+    }
+
+    /// Caps the per-processor candidate capacity (CD multi-scan mode).
+    pub fn memory_capacity(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "memory capacity must be positive");
+        self.memory_capacity = Some(cap);
+        self
+    }
+
+    /// Stops mining after pass `k`.
+    pub fn max_k(mut self, k: usize) -> Self {
+        self.max_k = Some(k);
+        self
+    }
+
+    /// Enables IDD's two-level candidate split for hot first items.
+    pub fn split_threshold(mut self, t: u64) -> Self {
+        self.split_threshold = Some(t);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let p = ParallelParams::with_min_support(0.01)
+            .page_size(64)
+            .memory_capacity(1000)
+            .max_k(3)
+            .split_threshold(50);
+        assert_eq!(p.page_size, 64);
+        assert_eq!(p.memory_capacity, Some(1000));
+        assert_eq!(p.max_k, Some(3));
+        assert_eq!(p.split_threshold, Some(50));
+        assert_eq!(p.min_support, MinSupport::Fraction(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn zero_page_rejected() {
+        ParallelParams::with_min_support_count(1).page_size(0);
+    }
+}

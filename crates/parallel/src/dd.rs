@@ -1,0 +1,124 @@
+//! Data Distribution (Section III-B, Figure 5) and the DD+comm ablation.
+//!
+//! DD partitions the candidates **round-robin**: each processor builds a
+//! hash tree over M/P candidates but must then see *every* transaction in
+//! the database. The original algorithm moves data with a naive page
+//! all-to-all — each processor sends every local page to all P−1 others —
+//! which serializes on the single-ported senders and receivers and is the
+//! first of DD's three problems. The second (processor idling) follows
+//! from the same pattern; the third (redundant computation) is inherent in
+//! the partitioning: with no ownership structure, every transaction
+//! traverses every processor's tree from every starting item, visiting
+//! `V(C, L/P) > V(C, L)/P` distinct leaves.
+//!
+//! [`CommScheme::RingPipeline`] swaps only the data movement for IDD's
+//! ring (the "DD+comm" curve of Figure 10), isolating how much of IDD's
+//! win is communication and how much is the intelligent partitioning.
+
+use crate::common::{
+    build_tree_charged, count_batch_charged, level_wire_size, merge_levels, page_bytes, paginate,
+    ring_shift_count, PassResult, RankCtx, TAG_DATA,
+};
+use crate::config::ParallelParams;
+use armine_core::binpack::partition_round_robin;
+use armine_core::hashtree::{OwnershipFilter, TreeStats};
+use armine_core::{ItemSet, Transaction};
+use armine_mpsim::Comm;
+
+/// How DD moves transaction pages between processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CommScheme {
+    /// The original DD all-to-all: P−1 point-to-point sends per page.
+    NaiveAllToAll,
+    /// IDD's ring pipeline (the DD+comm ablation).
+    RingPipeline,
+}
+
+/// One DD counting pass.
+#[allow(clippy::needless_range_loop)] // loop variables are peer ranks
+pub(crate) fn count_pass(
+    comm: &mut Comm,
+    ctx: &RankCtx,
+    k: usize,
+    candidates: Vec<ItemSet>,
+    params: &ParallelParams,
+    scheme: CommScheme,
+) -> PassResult {
+    let p = comm.size();
+    let me = comm.rank();
+    let total = candidates.len();
+    let part = partition_round_robin(&candidates, p);
+    let mine = part.parts[me].clone();
+    let mut tree = build_tree_charged(comm, k, params.tree, mine, total);
+    comm.charge_io(ctx.local_bytes());
+
+    let my_pages = paginate(&ctx.local, ctx.page_size);
+    // Everyone must loop over the globally largest page count so the
+    // exchange pattern stays aligned.
+    let page_counts: Vec<u64> = comm.world().allgather(my_pages.len() as u64, 8);
+    let max_pages = page_counts.iter().copied().max().unwrap_or(0) as usize;
+
+    let stats = match scheme {
+        CommScheme::NaiveAllToAll => {
+            let mut stats = TreeStats::default();
+            let filter = OwnershipFilter::all();
+            for round in 0..max_pages {
+                let mut world = comm.world();
+                // Send my page of this round to every other processor
+                // (asynchronous in the paper, but the single-ported sender
+                // still serializes the P−1 link occupancies).
+                if round < my_pages.len() {
+                    let page = &my_pages[round];
+                    let bytes = page_bytes(page);
+                    for other in 0..p {
+                        if other != me {
+                            world.send(other, TAG_DATA | (round as u64) << 8, page.clone(), bytes);
+                        }
+                    }
+                }
+                // Drain the P−1 incoming pages of this round. The paper
+                // polls whichever buffer has data; a fixed order moves the
+                // same bytes through the same single port, so totals agree.
+                let mut batch: Vec<Vec<Transaction>> = Vec::new();
+                if round < my_pages.len() {
+                    batch.push(my_pages[round].clone());
+                }
+                for other in 0..p {
+                    if other != me && round < page_counts[other] as usize {
+                        batch.push(world.recv(other, TAG_DATA | (round as u64) << 8));
+                    }
+                }
+                drop(world);
+                for page in &batch {
+                    stats = stats.merged(&count_batch_charged(comm, &mut tree, page, &filter));
+                }
+            }
+            stats
+        }
+        CommScheme::RingPipeline => {
+            let mut world = comm.world();
+            ring_shift_count(
+                &mut world,
+                &my_pages,
+                max_pages,
+                &mut tree,
+                &OwnershipFilter::all(),
+            )
+        }
+    };
+
+    // Each processor now has complete global counts for its own candidate
+    // partition: extract the frequent ones and exchange them with an
+    // all-to-all broadcast so every rank assembles the full F_k.
+    let mine_frequent = tree.frequent(ctx.min_count);
+    let bytes = level_wire_size(&mine_frequent);
+    let all = comm.world().allgather(mine_frequent, bytes);
+    PassResult {
+        level: merge_levels(all),
+        stats,
+        db_scans: 1,
+        grid: (p, 1),
+        candidate_imbalance: part.imbalance,
+        counted_candidates: None,
+    }
+}

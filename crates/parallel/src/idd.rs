@@ -1,0 +1,210 @@
+//! Intelligent Data Distribution (Section III-C, Figure 7).
+//!
+//! IDD fixes all three DD problems:
+//!
+//! 1. **Communication** — the naive all-to-all becomes a ring pipeline
+//!    (Figure 6): one asynchronous send + receive per step, overlapped
+//!    with processing of the in-hand buffer.
+//! 2. **Idling** — with point-to-point neighbour traffic and balanced
+//!    buffers, no processor waits on a congested peer.
+//! 3. **Redundant work** — candidates are partitioned by **first item**
+//!    (bin-packed for balance, optionally split by second item for hot
+//!    first items), and every processor filters transaction starting
+//!    items against its ownership bitmap at the hash-tree root, so each
+//!    transaction's work is *divided* among processors rather than
+//!    repeated: `V(C/P, L/P) ≈ V(C, L)/P`.
+
+use crate::common::{
+    build_tree_charged, level_wire_size, merge_levels, paginate, ring_shift_count, PassResult,
+    RankCtx,
+};
+use crate::config::ParallelParams;
+use armine_core::binpack::{partition_by_first_item, partition_two_level, CandidatePartition};
+use armine_core::ItemSet;
+use armine_mpsim::Comm;
+
+/// Builds IDD's candidate partition: bin-packed single-level by default,
+/// two-level when a split threshold is configured.
+pub(crate) fn make_partition(
+    candidates: &[ItemSet],
+    num_items: u32,
+    p: usize,
+    params: &ParallelParams,
+) -> CandidatePartition {
+    match params.split_threshold {
+        Some(t) => partition_two_level(candidates, num_items, p, t),
+        None => partition_by_first_item(candidates, num_items, p),
+    }
+}
+
+/// One IDD counting pass in **single-source** mode — the deployment the
+/// paper's conclusion highlights: "when all the data is coming from a
+/// database server or a single file system, one processor can read data
+/// from the single source and pass the data along the communication
+/// pipeline defined in the algorithm." Rank 0 holds the whole database
+/// and streams pages down the processor chain; every rank counts each
+/// page against its candidate partition as it flows past.
+pub(crate) fn count_pass_single_source(
+    comm: &mut Comm,
+    ctx: &RankCtx,
+    k: usize,
+    candidates: Vec<ItemSet>,
+    params: &ParallelParams,
+) -> PassResult {
+    use crate::common::{count_batch_charged, page_bytes, TAG_DATA};
+    let p = comm.size();
+    let me = comm.rank();
+    let total = candidates.len();
+    let part = make_partition(&candidates, ctx.num_items, p, params);
+    let mine = part.parts[me].clone();
+    let filter = part.filters[me].clone();
+    let mut tree = build_tree_charged(comm, k, params.tree, mine, total);
+    if me == 0 {
+        comm.charge_io(ctx.local_bytes());
+    }
+
+    // Page count is known only at the source; broadcast it down the chain
+    // first (rank 0 owns all transactions in this mode).
+    let my_pages = paginate(&ctx.local, ctx.page_size);
+    let num_pages = {
+        let mut world = comm.world();
+        let value = (world.rank() == 0).then_some(my_pages.len() as u64);
+        world.broadcast(0, value, 8) as usize
+    };
+    let mut stats = armine_core::hashtree::TreeStats::default();
+    #[allow(clippy::needless_range_loop)] // only the source indexes its pages
+    for page_idx in 0..num_pages {
+        let tag = TAG_DATA | (page_idx as u64) << 8;
+        let mut world = comm.world();
+        let page: Vec<_> = if me == 0 {
+            my_pages[page_idx].clone()
+        } else {
+            world.recv(me - 1, tag)
+        };
+        // Forward down the chain before counting, so downstream ranks
+        // overlap with our subset work.
+        if me + 1 < p {
+            let bytes = page_bytes(&page);
+            let sh = world.isend(me + 1, tag, page.clone(), bytes);
+            drop(world);
+            stats = stats.merged(&count_batch_charged(comm, &mut tree, &page, &filter));
+            comm.world().wait_send(sh);
+        } else {
+            drop(world);
+            stats = stats.merged(&count_batch_charged(comm, &mut tree, &page, &filter));
+        }
+    }
+
+    let mine_frequent = tree.frequent(ctx.min_count);
+    let bytes = level_wire_size(&mine_frequent);
+    let all = comm.world().allgather(mine_frequent, bytes);
+    PassResult {
+        level: merge_levels(all),
+        stats,
+        db_scans: 1,
+        grid: (p, 1),
+        candidate_imbalance: part.imbalance,
+        counted_candidates: None,
+    }
+}
+
+/// One IDD counting pass.
+pub(crate) fn count_pass(
+    comm: &mut Comm,
+    ctx: &RankCtx,
+    k: usize,
+    candidates: Vec<ItemSet>,
+    params: &ParallelParams,
+) -> PassResult {
+    let p = comm.size();
+    let me = comm.rank();
+    let total = candidates.len();
+    // Deterministic on every rank: same candidates → same packing.
+    let part = make_partition(&candidates, ctx.num_items, p, params);
+    let mine = part.parts[me].clone();
+    let filter = part.filters[me].clone();
+    let mut tree = build_tree_charged(comm, k, params.tree, mine, total);
+    comm.charge_io(ctx.local_bytes());
+
+    let my_pages = paginate(&ctx.local, ctx.page_size);
+    let page_counts: Vec<u64> = comm.world().allgather(my_pages.len() as u64, 8);
+    let max_pages = page_counts.iter().copied().max().unwrap_or(0) as usize;
+
+    let stats = {
+        let mut world = comm.world();
+        ring_shift_count(&mut world, &my_pages, max_pages, &mut tree, &filter)
+    };
+
+    let mine_frequent = tree.frequent(ctx.min_count);
+    let bytes = level_wire_size(&mine_frequent);
+    let all = comm.world().allgather(mine_frequent, bytes);
+    PassResult {
+        level: merge_levels(all),
+        stats,
+        db_scans: 1,
+        grid: (p, 1),
+        candidate_imbalance: part.imbalance,
+        counted_candidates: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Algorithm, ParallelMiner, ParallelParams};
+    use armine_core::apriori::{Apriori, AprioriParams};
+    use armine_core::ItemSet;
+    use armine_datagen::QuestParams;
+
+    #[test]
+    fn single_source_matches_serial_and_partitioned_idd() {
+        let dataset = QuestParams::paper_t15_i6()
+            .num_transactions(300)
+            .num_items(80)
+            .num_patterns(30)
+            .seed(301)
+            .generate();
+        let min_count = 9;
+        let serial = Apriori::new(AprioriParams::with_min_support_count(min_count).max_k(4))
+            .mine(dataset.transactions());
+        let want: Vec<(ItemSet, u64)> = serial
+            .frequent
+            .iter()
+            .map(|(s, c)| (s.clone(), c))
+            .collect();
+        let params = ParallelParams::with_min_support_count(min_count)
+            .page_size(40)
+            .max_k(4);
+        for procs in [1, 3, 6] {
+            let run = ParallelMiner::new(procs).mine(Algorithm::IddSingleSource, &dataset, &params);
+            let got: Vec<(ItemSet, u64)> =
+                run.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+            assert_eq!(got, want, "procs={procs}");
+        }
+    }
+
+    #[test]
+    fn single_source_moves_data_down_the_whole_chain() {
+        let dataset = QuestParams::paper_t15_i6()
+            .num_transactions(400)
+            .num_items(80)
+            .num_patterns(30)
+            .seed(303)
+            .generate();
+        let params = ParallelParams::with_min_support_count(10)
+            .page_size(50)
+            .max_k(3);
+        let p = 6;
+        let run = ParallelMiner::new(p).mine(Algorithm::IddSingleSource, &dataset, &params);
+        // Interior ranks forward every page down the chain; the tail
+        // forwards none (its sends are only the frequent-set exchange, which
+        // all ranks share). So the tail must send markedly less than any
+        // interior rank.
+        let sent: Vec<u64> = run.ranks.iter().map(|r| r.bytes_sent).collect();
+        for interior in 0..p - 1 {
+            assert!(
+                (sent[p - 1] as f64) < 0.8 * sent[interior] as f64,
+                "tail must forward no pipeline data: {sent:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! The user-facing entry point: pick an algorithm, a machine, a processor
+//! count, and mine.
+
+use crate::common::{run_rank, RankCtx, RankOutput};
+use crate::config::ParallelParams;
+use crate::dd::CommScheme;
+use crate::metrics::{ParallelPassMetrics, ParallelRun};
+use crate::{cd, dd, hd, hpa, idd, npa, pdm};
+use armine_core::apriori::FrequentItemsets;
+use armine_core::hashtree::TreeStats;
+use armine_core::Dataset;
+use armine_mpsim::{MachineProfile, SimResult, Simulator, Topology};
+
+/// Which parallel formulation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Count Distribution: replicated candidates, reduced counts.
+    Cd,
+    /// Data Distribution: round-robin candidates, naive page all-to-all.
+    Dd,
+    /// DD with IDD's ring communication (the Figure 10 ablation).
+    DdComm,
+    /// Intelligent Data Distribution: bin-packed candidates, bitmap
+    /// filtering, ring pipeline.
+    Idd,
+    /// Hybrid Distribution with the given per-group candidate threshold
+    /// `m` (the paper used m = 50K on 64 processors).
+    Hd {
+        /// Maximum candidates per processor group before G grows.
+        group_threshold: usize,
+    },
+    /// Hash Partitioned Apriori (Shintani & Kitsuregawa, discussed in
+    /// Section III-E): candidates are hash-partitioned; each transaction's
+    /// potential k-subsets are hashed and shipped to the owning processor.
+    /// `eld_permille > 0` enables the ELD refinement: that fraction of the
+    /// hottest candidates (by anti-monotone support bound) is duplicated
+    /// on every processor and counted locally, CD-style.
+    Hpa {
+        /// Per-mille of candidates to duplicate everywhere (0 = plain HPA).
+        eld_permille: u32,
+    },
+    /// IDD in single-source mode (the paper's conclusion): rank 0 holds
+    /// the entire database (a database server / single file system) and
+    /// streams pages down the processor chain; every rank counts its
+    /// candidate partition as the data flows past.
+    IddSingleSource,
+    /// NPA (Shintani & Kitsuregawa, "very similar to CD"): replicated
+    /// candidates, but counts funnel to a coordinator that derives F_k
+    /// and broadcasts it — an O(P·M) bottleneck where CD's all-reduce is
+    /// O(M).
+    Npa,
+    /// PDM (Park, Chen & Yu): CD plus DHP's hash-filter candidate pruning
+    /// — local bucket tables summed by a global reduction, pass-2 (and
+    /// optionally later) candidates pruned identically everywhere before
+    /// the replicated tree is built.
+    Pdm {
+        /// Buckets in each pass's hash filter.
+        buckets: usize,
+        /// Passes `2..=1+filter_passes` build and apply a filter.
+        filter_passes: usize,
+    },
+}
+
+impl Algorithm {
+    /// Short name for reports ("CD", "DD", "DD+comm", "IDD", "HD").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Cd => "CD",
+            Algorithm::Dd => "DD",
+            Algorithm::DdComm => "DD+comm",
+            Algorithm::Idd => "IDD",
+            Algorithm::Hd { .. } => "HD",
+            Algorithm::Hpa { eld_permille: 0 } => "HPA",
+            Algorithm::Hpa { .. } => "HPA-ELD",
+            Algorithm::IddSingleSource => "IDD-1src",
+            Algorithm::Npa => "NPA",
+            Algorithm::Pdm { .. } => "PDM",
+        }
+    }
+}
+
+/// A configured parallel mining engine: processor count + machine profile
+/// + interconnect.
+#[derive(Debug, Clone)]
+pub struct ParallelMiner {
+    procs: usize,
+    machine: MachineProfile,
+    topology: Topology,
+}
+
+impl ParallelMiner {
+    /// A miner simulating `procs` processors of a Cray T3E (the paper's
+    /// main testbed).
+    pub fn new(procs: usize) -> Self {
+        ParallelMiner {
+            procs,
+            machine: MachineProfile::cray_t3e(),
+            topology: Topology::torus_for(procs),
+        }
+    }
+
+    /// Overrides the machine profile (e.g. [`MachineProfile::ibm_sp2`] for
+    /// the Figure 12 experiment).
+    pub fn machine(mut self, machine: MachineProfile) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Overrides the interconnect topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Number of simulated processors.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Mines `dataset` with `algorithm`. Transactions are distributed
+    /// evenly across processors (the standing assumption of Section III);
+    /// the returned run carries the frequent itemsets (exact — identical
+    /// to serial Apriori) and the virtual-time measurements.
+    pub fn mine(
+        &self,
+        algorithm: Algorithm,
+        dataset: &Dataset,
+        params: &ParallelParams,
+    ) -> ParallelRun {
+        // Single-source mode: the whole database sits on rank 0.
+        let parts = if algorithm == Algorithm::IddSingleSource {
+            let mut parts = vec![Vec::new(); self.procs];
+            parts[0] = dataset.transactions().to_vec();
+            parts
+        } else {
+            dataset.partition(self.procs)
+        };
+        let num_items = dataset.num_items();
+        let min_count = params.min_support.resolve(dataset.len());
+        let sim = Simulator::new(self.procs)
+            .machine(self.machine)
+            .topology(self.topology);
+        let parts = &parts;
+        let params_copy = *params;
+        let result: SimResult<RankOutput> = sim.run(move |comm| {
+            let ctx = RankCtx {
+                local: parts[comm.rank()].clone(),
+                num_items,
+                min_count,
+                page_size: params_copy.page_size,
+            };
+            run_rank(
+                comm,
+                &ctx,
+                params_copy.max_k,
+                |comm, ctx, k, candidates, prev| match algorithm {
+                    Algorithm::Cd => cd::count_pass(comm, ctx, k, candidates, &params_copy),
+                    Algorithm::Dd => dd::count_pass(
+                        comm,
+                        ctx,
+                        k,
+                        candidates,
+                        &params_copy,
+                        CommScheme::NaiveAllToAll,
+                    ),
+                    Algorithm::DdComm => dd::count_pass(
+                        comm,
+                        ctx,
+                        k,
+                        candidates,
+                        &params_copy,
+                        CommScheme::RingPipeline,
+                    ),
+                    Algorithm::Idd => idd::count_pass(comm, ctx, k, candidates, &params_copy),
+                    Algorithm::Hd { group_threshold } => {
+                        hd::count_pass(comm, ctx, k, candidates, &params_copy, group_threshold)
+                    }
+                    Algorithm::Hpa { eld_permille } => {
+                        hpa::count_pass(comm, ctx, k, candidates, prev, &params_copy, eld_permille)
+                    }
+                    Algorithm::IddSingleSource => {
+                        idd::count_pass_single_source(comm, ctx, k, candidates, &params_copy)
+                    }
+                    Algorithm::Npa => npa::count_pass(comm, ctx, k, candidates, &params_copy),
+                    Algorithm::Pdm {
+                        buckets,
+                        filter_passes,
+                    } => pdm::count_pass(
+                        comm,
+                        ctx,
+                        k,
+                        candidates,
+                        &params_copy,
+                        buckets,
+                        filter_passes,
+                    ),
+                },
+            )
+        });
+        assemble(
+            algorithm.name(),
+            self.procs,
+            dataset.len(),
+            min_count,
+            result,
+        )
+    }
+
+    /// Generates association rules from a mined (replicated) frequent
+    /// lattice in parallel — the discovery pipeline's second step, which
+    /// the paper notes "is straightforward": the itemsets are partitioned
+    /// round-robin and each processor grows consequents for its share.
+    /// The output is byte-identical to
+    /// [`armine_core::rules::generate_rules`].
+    pub fn generate_rules(
+        &self,
+        frequent: &armine_core::apriori::FrequentItemsets,
+        min_confidence: f64,
+    ) -> crate::rules::ParallelRulesRun {
+        let sim = Simulator::new(self.procs)
+            .machine(self.machine)
+            .topology(self.topology);
+        crate::rules::generate_rules_parallel(&sim, frequent, min_confidence)
+    }
+}
+
+/// Folds the per-rank outputs into one [`ParallelRun`].
+fn assemble(
+    algorithm: &'static str,
+    procs: usize,
+    total_n: usize,
+    min_count: u64,
+    result: SimResult<RankOutput>,
+) -> ParallelRun {
+    let response_time = result.response_time();
+    let SimResult { results, ranks, .. } = result;
+    // Every rank must have discovered the identical lattice.
+    debug_assert!(
+        results.windows(2).all(|w| w[0].levels == w[1].levels),
+        "ranks disagree on the frequent itemsets"
+    );
+    let first = &results[0];
+    let num_passes = first.passes.len();
+    let mut passes = Vec::with_capacity(num_passes);
+    let mut prev_end = 0.0f64;
+    for i in 0..num_passes {
+        let mut stats = TreeStats::default();
+        let mut end = 0.0f64;
+        for r in &results {
+            stats = stats.merged(&r.passes[i].stats);
+            end = end.max(r.passes[i].clock_end);
+        }
+        let proto = &first.passes[i];
+        passes.push(ParallelPassMetrics {
+            k: proto.k,
+            candidates: proto.candidates_total,
+            counted_candidates: proto.counted_candidates,
+            frequent: first.levels[i].len(),
+            grid: proto.grid,
+            tree_stats: stats,
+            db_scans: proto.db_scans,
+            candidate_imbalance: proto.candidate_imbalance,
+            time: (end - prev_end).max(0.0),
+        });
+        prev_end = end;
+    }
+    let levels = results.into_iter().next().unwrap().levels;
+    ParallelRun {
+        algorithm,
+        procs,
+        frequent: FrequentItemsets::from_levels(levels, total_n as u64),
+        passes,
+        response_time,
+        ranks,
+        min_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armine_core::apriori::{Apriori, AprioriParams, MinSupport};
+    use armine_core::{Item, ItemSet, Transaction};
+    use armine_datagen::QuestParams;
+
+    const ALGOS: [Algorithm; 5] = [
+        Algorithm::Cd,
+        Algorithm::Dd,
+        Algorithm::DdComm,
+        Algorithm::Idd,
+        Algorithm::Hd {
+            group_threshold: 40,
+        },
+    ];
+
+    fn quest(n: usize, items: u32, seed: u64) -> Dataset {
+        QuestParams::paper_t15_i6()
+            .num_transactions(n)
+            .num_items(items)
+            .num_patterns(30)
+            .seed(seed)
+            .generate()
+    }
+
+    fn serial_reference(dataset: &Dataset, min_count: u64) -> Vec<(ItemSet, u64)> {
+        let run = Apriori::new(AprioriParams::with_min_support_count(min_count).max_k(5))
+            .mine(dataset.transactions());
+        run.frequent.iter().map(|(s, c)| (s.clone(), c)).collect()
+    }
+
+    /// The headline correctness property: every algorithm, at several
+    /// processor counts, finds exactly the serial Apriori lattice.
+    #[test]
+    fn all_algorithms_match_serial_apriori() {
+        let dataset = quest(300, 80, 11);
+        let min_count = 9;
+        let want = serial_reference(&dataset, min_count);
+        assert!(!want.is_empty(), "test data must have frequent itemsets");
+        let params = ParallelParams::with_min_support_count(min_count)
+            .page_size(50)
+            .max_k(5);
+        for procs in [1, 2, 4, 7] {
+            for algo in ALGOS {
+                let run = ParallelMiner::new(procs).mine(algo, &dataset, &params);
+                let got: Vec<(ItemSet, u64)> =
+                    run.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+                assert_eq!(
+                    got,
+                    want,
+                    "{} with {procs} procs diverged from serial",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_idd_matches_serial() {
+        let dataset = quest(250, 60, 5);
+        let min_count = 8;
+        let want = serial_reference(&dataset, min_count);
+        let params = ParallelParams::with_min_support_count(min_count)
+            .page_size(40)
+            .max_k(5)
+            .split_threshold(3); // aggressive splitting
+        for algo in [
+            Algorithm::Idd,
+            Algorithm::Hd {
+                group_threshold: 30,
+            },
+        ] {
+            let run = ParallelMiner::new(4).mine(algo, &dataset, &params);
+            let got: Vec<(ItemSet, u64)> =
+                run.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+            assert_eq!(got, want, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn cd_memory_cap_matches_serial_with_extra_scans() {
+        let dataset = quest(300, 80, 13);
+        let min_count = 8;
+        let want = serial_reference(&dataset, min_count);
+        let capped = ParallelParams::with_min_support_count(min_count)
+            .memory_capacity(10)
+            .max_k(5);
+        let run = ParallelMiner::new(4).mine(Algorithm::Cd, &dataset, &capped);
+        let got: Vec<(ItemSet, u64)> = run.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+        assert_eq!(got, want);
+        assert!(
+            run.total_db_scans() > run.passes.len(),
+            "capping must force multiple scans in some pass"
+        );
+    }
+
+    #[test]
+    fn fractional_support_resolves_against_whole_database() {
+        let dataset = quest(200, 60, 3);
+        let params = ParallelParams {
+            min_support: MinSupport::Fraction(0.05),
+            ..ParallelParams::with_min_support_count(0)
+        };
+        let run = ParallelMiner::new(4).mine(Algorithm::Cd, &dataset, &params);
+        assert_eq!(run.min_count, 10, "5% of 200");
+    }
+
+    #[test]
+    fn response_times_ordering_dd_worst() {
+        // The paper's headline mechanisms, in a candidate-heavy regime
+        // (many items, moderate support) where DD's redundant traversal
+        // dominates: DD ≥ DD+comm (the ring never loses to the naive
+        // all-to-all) and both stay far above IDD (intelligent
+        // partitioning removes the redundant work); HD tracks the best.
+        let dataset = quest(1200, 200, 17);
+        let params = ParallelParams::with_min_support_count(10)
+            .page_size(50)
+            .max_k(5);
+        let miner = ParallelMiner::new(8);
+        let time = |a| miner.mine(a, &dataset, &params).response_time;
+        let (dd, ddc, idd, cd, hd) = (
+            time(Algorithm::Dd),
+            time(Algorithm::DdComm),
+            time(Algorithm::Idd),
+            time(Algorithm::Cd),
+            time(Algorithm::Hd {
+                group_threshold: 500,
+            }),
+        );
+        assert!(
+            dd >= ddc,
+            "ring never loses to naive all-to-all: DD {dd} vs DD+comm {ddc}"
+        );
+        assert!(
+            ddc > 1.4 * idd,
+            "redundant work dominates: DD+comm {ddc} vs IDD {idd}"
+        );
+        assert!(
+            dd > 1.4 * idd,
+            "DD pays for redundant work: {dd} vs IDD {idd}"
+        );
+        assert!(
+            hd < cd,
+            "with M large vs N, HD must beat CD: HD {hd} vs CD {cd}"
+        );
+    }
+
+    #[test]
+    fn idd_reduces_leaf_visits_versus_dd() {
+        // Figure 11's mechanism, observed in the real counters.
+        let dataset = quest(600, 100, 23);
+        let params = ParallelParams::with_min_support_count(10)
+            .page_size(50)
+            .max_k(3);
+        let miner = ParallelMiner::new(8);
+        let dd = miner.mine(Algorithm::Dd, &dataset, &params);
+        let idd = miner.mine(Algorithm::Idd, &dataset, &params);
+        let dd_visits = dd.passes[2].avg_leaf_visits_per_transaction();
+        let idd_visits = idd.passes[2].avg_leaf_visits_per_transaction();
+        assert!(
+            idd_visits < dd_visits / 2.0,
+            "IDD per-transaction leaf visits {idd_visits} should be well below DD's {dd_visits}"
+        );
+    }
+
+    #[test]
+    fn hd_grid_changes_with_candidate_count() {
+        let dataset = quest(400, 100, 29);
+        // Tiny threshold → many groups in candidate-heavy passes.
+        let params = ParallelParams::with_min_support_count(8).page_size(50);
+        let run = ParallelMiner::new(8).mine(
+            Algorithm::Hd {
+                group_threshold: 10,
+            },
+            &dataset,
+            &params,
+        );
+        let grids: Vec<(usize, usize)> = run.passes.iter().map(|p| p.grid).collect();
+        assert!(
+            grids.iter().any(|&(g, _)| g > 1),
+            "some pass should use G > 1: {grids:?}"
+        );
+        for (g, cols) in grids {
+            assert_eq!(g * cols, 8);
+        }
+    }
+
+    #[test]
+    fn pass_metrics_are_consistent() {
+        let dataset = quest(300, 80, 31);
+        let params = ParallelParams::with_min_support_count(9);
+        let run = ParallelMiner::new(4).mine(Algorithm::Idd, &dataset, &params);
+        assert!(!run.passes.is_empty());
+        let mut total_time = 0.0;
+        for (i, p) in run.passes.iter().enumerate() {
+            assert_eq!(p.k, i + 1);
+            assert!(p.frequent <= p.candidates.max(p.frequent));
+            assert!(p.time >= 0.0);
+            total_time += p.time;
+        }
+        assert!(
+            (total_time - run.response_time).abs() < 1e-6 * run.response_time.max(1e-12),
+            "pass times must sum to the response time"
+        );
+        assert_eq!(run.ranks.len(), 4);
+        assert!(run.total_bytes() > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let dataset = quest(200, 60, 37);
+        let params = ParallelParams::with_min_support_count(8);
+        let m = ParallelMiner::new(4);
+        let a = m.mine(
+            Algorithm::Hd {
+                group_threshold: 20,
+            },
+            &dataset,
+            &params,
+        );
+        let b = m.mine(
+            Algorithm::Hd {
+                group_threshold: 20,
+            },
+            &dataset,
+            &params,
+        );
+        assert_eq!(a.response_time, b.response_time);
+        assert_eq!(a.total_bytes(), b.total_bytes());
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_serial_costs() {
+        let dataset = quest(150, 50, 41);
+        let params = ParallelParams::with_min_support_count(6);
+        for algo in ALGOS {
+            let run = ParallelMiner::new(1).mine(algo, &dataset, &params);
+            assert!(!run.frequent.is_empty(), "{}", algo.name());
+            assert_eq!(run.procs, 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_datasets() {
+        let empty = Dataset::with_num_items(vec![], 10);
+        let params = ParallelParams::with_min_support_count(1);
+        let run = ParallelMiner::new(4).mine(Algorithm::Cd, &empty, &params);
+        assert!(run.frequent.is_empty());
+
+        let tiny = Dataset::new(vec![Transaction::new(1, vec![Item(0), Item(1), Item(2)])]);
+        for algo in ALGOS {
+            let run = ParallelMiner::new(4).mine(algo, &tiny, &params);
+            assert_eq!(run.frequent.len(), 7, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::Cd.name(), "CD");
+        assert_eq!(Algorithm::Dd.name(), "DD");
+        assert_eq!(Algorithm::DdComm.name(), "DD+comm");
+        assert_eq!(Algorithm::Idd.name(), "IDD");
+        assert_eq!(Algorithm::Hd { group_threshold: 1 }.name(), "HD");
+        assert_eq!(Algorithm::Hpa { eld_permille: 0 }.name(), "HPA");
+        assert_eq!(Algorithm::Hpa { eld_permille: 100 }.name(), "HPA-ELD");
+    }
+
+    #[test]
+    fn hpa_and_eld_match_serial() {
+        let dataset = quest(300, 80, 43);
+        let min_count = 9;
+        let want = serial_reference(&dataset, min_count);
+        assert!(!want.is_empty());
+        let params = ParallelParams::with_min_support_count(min_count)
+            .page_size(50)
+            .max_k(5);
+        for eld_permille in [0u32, 100, 500, 1000] {
+            for procs in [1, 4] {
+                let run = ParallelMiner::new(procs).mine(
+                    Algorithm::Hpa { eld_permille },
+                    &dataset,
+                    &params,
+                );
+                let got: Vec<(ItemSet, u64)> =
+                    run.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+                assert_eq!(got, want, "HPA eld={eld_permille} procs={procs}");
+            }
+        }
+    }
+
+    #[test]
+    fn hpa_ships_more_than_idd_beyond_pass_two() {
+        // Section III-E: "for values of k greater than 2, HPA can have
+        // much larger communication volume than that for DD and IDD"
+        // because it moves (I choose k) potential candidates per
+        // transaction instead of the transaction itself.
+        let dataset = quest(400, 120, 47);
+        let miner = ParallelMiner::new(8);
+        let p2 = ParallelParams::with_min_support_count(8)
+            .page_size(50)
+            .max_k(4);
+        let hpa = miner.mine(Algorithm::Hpa { eld_permille: 0 }, &dataset, &p2);
+        let idd = miner.mine(Algorithm::Idd, &dataset, &p2);
+        assert!(
+            hpa.total_bytes() > 2 * idd.total_bytes(),
+            "HPA bytes {} should far exceed IDD bytes {} with passes up to k=4",
+            hpa.total_bytes(),
+            idd.total_bytes()
+        );
+    }
+
+    #[test]
+    fn eld_reduces_hpa_communication() {
+        // Duplicating the hottest candidates keeps their (numerous)
+        // potential-candidate instances local.
+        let dataset = quest(400, 120, 53);
+        let miner = ParallelMiner::new(8);
+        let params = ParallelParams::with_min_support_count(8)
+            .page_size(50)
+            .max_k(3);
+        let plain = miner.mine(Algorithm::Hpa { eld_permille: 0 }, &dataset, &params);
+        let eld = miner.mine(Algorithm::Hpa { eld_permille: 300 }, &dataset, &params);
+        assert!(
+            eld.total_bytes() < plain.total_bytes(),
+            "ELD {} should ship fewer bytes than plain HPA {}",
+            eld.total_bytes(),
+            plain.total_bytes()
+        );
+    }
+}

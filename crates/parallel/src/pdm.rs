@@ -1,0 +1,164 @@
+//! PDM — Parallel Data Mining (Park, Chen & Yu, CIKM '95): the parallel
+//! formulation of DHP that Section III-E describes as "similar in nature
+//! to the CD algorithm".
+//!
+//! Structure of a pass:
+//!
+//! * Before counting pass 2 (and optionally later passes), every processor
+//!   hashes the k-subsets of its **local** transactions into a bucket
+//!   table; one global reduction sums the tables, and every processor
+//!   prunes the freshly generated `C_k` by the global bucket counts —
+//!   identical pruning everywhere, so candidate order stays aligned.
+//! * Counting then proceeds exactly as CD: replicated hash tree over the
+//!   (pruned) candidates, local counts, global count reduction.
+//!
+//! Compared to CD, PDM pays an extra `O(B)` reduction (B = bucket count)
+//! and the subset-hashing compute, and saves the tree build + counting
+//! for every pruned candidate. The `exp_pdm` experiment measures the
+//! trade.
+
+use crate::cd;
+use crate::common::{PassResult, RankCtx};
+use crate::config::ParallelParams;
+use armine_core::dhp::HashFilter;
+use armine_core::ItemSet;
+use armine_mpsim::Comm;
+
+/// One PDM counting pass. `filter_passes` bounds which passes build and
+/// apply a hash filter (the original uses it for pass 2, where `|C_2|`
+/// dominates).
+pub(crate) fn count_pass(
+    comm: &mut Comm,
+    ctx: &RankCtx,
+    k: usize,
+    candidates: Vec<ItemSet>,
+    params: &ParallelParams,
+    buckets: usize,
+    filter_passes: usize,
+) -> PassResult {
+    let total = candidates.len();
+    let candidates = if k >= 2 && k <= 1 + filter_passes {
+        // Build the local bucket table for this pass's subset size over
+        // the local slice.
+        let machine = *comm.machine();
+        let mut filter = HashFilter::new(buckets);
+        let mut hashed = 0u64;
+        for t in &ctx.local {
+            for subset in t.k_subsets(k) {
+                filter.add(&subset);
+                hashed += 1;
+            }
+        }
+        comm.advance(hashed as f64 * machine.t_travers);
+        // Global reduction of the bucket table (the PDM-specific traffic).
+        let mut counts = filter.counts().to_vec();
+        comm.world().allreduce_sum_u64(&mut counts);
+        filter.set_counts(&counts);
+        // Prune: identical on every rank (global counts, same candidates).
+        candidates
+            .into_iter()
+            .filter(|c| filter.admits(c, ctx.min_count))
+            .collect()
+    } else {
+        candidates
+    };
+    let counted = candidates.len();
+    let mut result = cd::count_pass(comm, ctx, k, candidates, params);
+    result.counted_candidates = Some(counted);
+    let _ = total;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Algorithm, ParallelMiner, ParallelParams};
+    use armine_core::apriori::{Apriori, AprioriParams};
+    use armine_core::ItemSet;
+    use armine_datagen::QuestParams;
+
+    fn quest(n: usize, items: u32, seed: u64) -> armine_core::Dataset {
+        QuestParams::paper_t15_i6()
+            .num_transactions(n)
+            .num_items(items)
+            .num_patterns(30)
+            .seed(seed)
+            .generate()
+    }
+
+    #[test]
+    fn pdm_matches_serial_apriori() {
+        let dataset = quest(300, 80, 61);
+        let min_count = 9;
+        let serial = Apriori::new(AprioriParams::with_min_support_count(min_count).max_k(4))
+            .mine(dataset.transactions());
+        let want: Vec<(ItemSet, u64)> = serial
+            .frequent
+            .iter()
+            .map(|(s, c)| (s.clone(), c))
+            .collect();
+        let params = ParallelParams::with_min_support_count(min_count).max_k(4);
+        for procs in [1, 4, 7] {
+            for buckets in [16usize, 4096] {
+                let run = ParallelMiner::new(procs).mine(
+                    Algorithm::Pdm {
+                        buckets,
+                        filter_passes: 2,
+                    },
+                    &dataset,
+                    &params,
+                );
+                let got: Vec<(ItemSet, u64)> =
+                    run.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+                assert_eq!(got, want, "procs={procs} buckets={buckets}");
+            }
+        }
+    }
+
+    #[test]
+    fn pdm_prunes_pass2_candidates() {
+        let dataset = quest(500, 150, 67);
+        let min_count = 12;
+        let params = ParallelParams::with_min_support_count(min_count).max_k(3);
+        let miner = ParallelMiner::new(4);
+        let cd = miner.mine(Algorithm::Cd, &dataset, &params);
+        let pdm = miner.mine(
+            Algorithm::Pdm {
+                buckets: 1 << 15,
+                filter_passes: 1,
+            },
+            &dataset,
+            &params,
+        );
+        let cd2 = &cd.passes[1];
+        let pdm2 = &pdm.passes[1];
+        assert_eq!(cd2.candidates, pdm2.candidates, "same apriori_gen output");
+        assert!(
+            pdm2.counted_candidates < cd2.counted_candidates,
+            "PDM must count fewer pass-2 candidates: {} vs {}",
+            pdm2.counted_candidates,
+            cd2.counted_candidates
+        );
+        // Same final answer.
+        assert_eq!(cd.frequent.len(), pdm.frequent.len());
+    }
+
+    #[test]
+    fn pdm_with_no_filter_passes_is_cd() {
+        let dataset = quest(200, 60, 71);
+        let params = ParallelParams::with_min_support_count(8).max_k(3);
+        let miner = ParallelMiner::new(4);
+        let cd = miner.mine(Algorithm::Cd, &dataset, &params);
+        let pdm = miner.mine(
+            Algorithm::Pdm {
+                buckets: 64,
+                filter_passes: 0,
+            },
+            &dataset,
+            &params,
+        );
+        for (a, b) in cd.passes.iter().zip(&pdm.passes) {
+            assert_eq!(a.counted_candidates, b.counted_candidates);
+        }
+        assert_eq!(cd.frequent.len(), pdm.frequent.len());
+    }
+}

@@ -1,0 +1,62 @@
+//! A miniature of the paper's Figure 10 scaleup study: hold the work per
+//! processor constant, grow the machine, and watch how the four parallel
+//! formulations respond on the simulated Cray T3E.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use armine::parallel::{Algorithm, ParallelMiner, ParallelParams};
+use armine_datagen::QuestParams;
+
+fn main() {
+    let per_proc = 250; // transactions per processor (paper: 50K)
+    let algos = [
+        Algorithm::Cd,
+        Algorithm::Dd,
+        Algorithm::DdComm,
+        Algorithm::Idd,
+        Algorithm::Hd {
+            group_threshold: 300,
+        },
+    ];
+    println!("Scaleup: {per_proc} transactions/processor, T15.I6, 1% support\n");
+    println!(
+        "{:>5}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "P", "CD", "DD", "DD+comm", "IDD", "HD"
+    );
+    for procs in [2usize, 4, 8, 16] {
+        let dataset = QuestParams::paper_t15_i6()
+            .num_transactions(per_proc * procs)
+            .num_items(200)
+            .num_patterns(100)
+            .seed(99)
+            .generate();
+        let params = ParallelParams::with_min_support(0.01).page_size(100);
+        let miner = ParallelMiner::new(procs);
+        let mut times = Vec::new();
+        let mut frequent = None;
+        for algo in algos {
+            let run = miner.mine(algo, &dataset, &params);
+            if let Some(f) = frequent {
+                assert_eq!(f, run.frequent.len(), "algorithms disagree!");
+            }
+            frequent = Some(run.frequent.len());
+            times.push(run.response_time);
+        }
+        println!(
+            "{:>5}  {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>9.2}ms",
+            procs,
+            times[0] * 1e3,
+            times[1] * 1e3,
+            times[2] * 1e3,
+            times[3] * 1e3,
+            times[4] * 1e3,
+        );
+    }
+    println!(
+        "\nA scalable algorithm keeps the row flat (work per processor is constant).\n\
+         DD blows up with P (naive all-to-all + redundant traversal);\n\
+         IDD drifts up (load imbalance); CD and HD stay nearly flat — Figure 10."
+    );
+}

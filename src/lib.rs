@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # armine — scalable parallel association-rule mining
+//!
+//! A facade over the `armine` workspace, reproducing Han, Karypis & Kumar,
+//! *Scalable Parallel Data Mining for Association Rules* (SIGMOD '97 /
+//! TKDE '99): the serial Apriori algorithm, the IBM Quest-style synthetic
+//! data generator, a message-passing multicomputer simulator, and the four
+//! parallel Apriori formulations the paper studies (CD, DD, IDD, HD).
+//!
+//! Most users want:
+//!
+//! - [`core`] ([`armine_core`]) — items, transactions, hash tree, serial
+//!   Apriori, rule generation, the analytical cost model.
+//! - [`datagen`] ([`armine_datagen`]) — synthetic transaction databases
+//!   matching the paper's workloads (T15.I6, etc.).
+//! - [`mpsim`] ([`armine_mpsim`]) — the virtual-time message-passing
+//!   runtime the parallel algorithms run on.
+//! - [`parallel`] ([`armine_parallel`]) — CD, DD, DD+comm, IDD, HD and the
+//!   multi-pass parallel mining driver.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use armine_core as core;
+pub use armine_datagen as datagen;
+pub use armine_mpsim as mpsim;
+pub use armine_parallel as parallel;

@@ -1,0 +1,99 @@
+//! Cross-crate checks for the DHP/PDM extension: on realistic Quest
+//! workloads, the filtered algorithms produce the identical lattice to
+//! plain Apriori/CD while counting strictly fewer candidates.
+
+use armine::core::apriori::{Apriori, AprioriParams};
+use armine::core::dhp::{Dhp, DhpParams};
+use armine::core::ItemSet;
+use armine::datagen::QuestParams;
+use armine::parallel::{Algorithm, ParallelMiner, ParallelParams};
+use std::collections::HashMap;
+
+fn quest(n: usize, items: u32, seed: u64) -> armine::core::Dataset {
+    QuestParams::paper_t15_i6()
+        .num_transactions(n)
+        .num_items(items)
+        .num_patterns(60)
+        .seed(seed)
+        .generate()
+}
+
+fn lattice(f: &armine::core::apriori::FrequentItemsets) -> HashMap<ItemSet, u64> {
+    f.iter().map(|(s, c)| (s.clone(), c)).collect()
+}
+
+#[test]
+fn dhp_equals_apriori_on_quest_data() {
+    let dataset = quest(800, 200, 201);
+    for support in [0.02, 0.01] {
+        let apriori = Apriori::new(AprioriParams::with_min_support(support).max_k(4))
+            .mine(dataset.transactions());
+        let dhp =
+            Dhp::new(DhpParams::with_min_support(support).max_k(4)).mine(dataset.transactions());
+        assert_eq!(lattice(&apriori.frequent), lattice(dhp.frequent()));
+        // On a pattern-rich workload the filter must actually bite.
+        let a2 = apriori.passes[1].candidates;
+        let d2 = dhp.run.passes[1].candidates;
+        assert!(d2 < a2, "support {support}: {d2} !< {a2}");
+    }
+}
+
+#[test]
+fn pdm_equals_cd_equals_serial_under_simulation() {
+    let dataset = quest(600, 150, 203);
+    let params = ParallelParams::with_min_support(0.015)
+        .max_k(4)
+        .page_size(80);
+    let serial =
+        Apriori::new(AprioriParams::with_min_support(0.015).max_k(4)).mine(dataset.transactions());
+    for procs in [2, 5, 8] {
+        let miner = ParallelMiner::new(procs);
+        let cd = miner.mine(Algorithm::Cd, &dataset, &params);
+        let pdm = miner.mine(
+            Algorithm::Pdm {
+                buckets: 1 << 14,
+                filter_passes: 2,
+            },
+            &dataset,
+            &params,
+        );
+        assert_eq!(
+            lattice(&serial.frequent),
+            lattice(&cd.frequent),
+            "CD P={procs}"
+        );
+        assert_eq!(
+            lattice(&serial.frequent),
+            lattice(&pdm.frequent),
+            "PDM P={procs}"
+        );
+        // PDM counts fewer pass-2 candidates, with a decent filter.
+        assert!(pdm.passes[1].counted_candidates < cd.passes[1].counted_candidates);
+    }
+}
+
+#[test]
+fn pdm_prunes_more_with_more_buckets() {
+    let dataset = quest(500, 150, 207);
+    let params = ParallelParams::with_min_support(0.015).max_k(2);
+    let miner = ParallelMiner::new(4);
+    let counted = |buckets: usize| {
+        miner
+            .mine(
+                Algorithm::Pdm {
+                    buckets,
+                    filter_passes: 1,
+                },
+                &dataset,
+                &params,
+            )
+            .passes[1]
+            .counted_candidates
+    };
+    let coarse = counted(64);
+    let fine = counted(1 << 16);
+    assert!(
+        fine <= coarse,
+        "finer buckets cannot prune less: {fine} vs {coarse}"
+    );
+}

@@ -1,0 +1,125 @@
+//! End-to-end flows across crates: generate → write → read → mine →
+//! rules, and the generator's statistical contracts.
+
+use armine::core::apriori::{Apriori, AprioriParams};
+use armine::core::io::{read_transactions, write_transactions};
+use armine::core::rules::generate_rules;
+use armine::datagen::QuestParams;
+use armine::parallel::{Algorithm, ParallelMiner, ParallelParams};
+
+#[test]
+fn generate_write_read_mine_roundtrip() {
+    let dataset = QuestParams::paper_t15_i6()
+        .num_transactions(500)
+        .num_items(120)
+        .num_patterns(40)
+        .seed(5)
+        .generate();
+
+    // Serialize and re-read the database.
+    let mut bytes = Vec::new();
+    write_transactions(&mut bytes, &dataset).unwrap();
+    let reread = read_transactions(&bytes[..]).unwrap();
+    assert_eq!(reread.len(), dataset.len());
+    assert_eq!(reread.transactions(), dataset.transactions());
+
+    // Mining the re-read dataset gives the same lattice as the original.
+    let miner = Apriori::new(AprioriParams::with_min_support(0.03).max_k(4));
+    let a = miner.mine(dataset.transactions());
+    let b = miner.mine(reread.transactions());
+    assert_eq!(a.frequent.len(), b.frequent.len());
+    for (set, count) in a.frequent.iter() {
+        assert_eq!(b.frequent.support(set), Some(count));
+    }
+}
+
+#[test]
+fn full_pipeline_generates_rules() {
+    let dataset = QuestParams::paper_t15_i6()
+        .num_transactions(800)
+        .num_items(150)
+        .num_patterns(50)
+        .seed(6)
+        .generate();
+    let run = ParallelMiner::new(4).mine(
+        Algorithm::Hd {
+            group_threshold: 200,
+        },
+        &dataset,
+        &ParallelParams::with_min_support(0.02).max_k(4),
+    );
+    assert!(!run.frequent.is_empty());
+    let rules = generate_rules(&run.frequent, 0.5);
+    assert!(
+        !rules.is_empty(),
+        "a planted-pattern workload at 2% support must yield rules"
+    );
+    for r in &rules {
+        assert!(r.confidence >= 0.5 && r.confidence <= 1.0 + 1e-12);
+        assert!(r.support > 0.0 && r.support <= 1.0);
+    }
+}
+
+#[test]
+fn generator_statistics_match_parameters() {
+    let params = QuestParams::paper_t15_i6()
+        .num_transactions(3000)
+        .num_items(400)
+        .seed(7);
+    let dataset = params.generate();
+    assert_eq!(dataset.len(), 3000);
+    // |T| ≈ 15 (Poisson mean with pattern-packing slack).
+    let avg = dataset.avg_transaction_len();
+    assert!((11.0..19.0).contains(&avg), "avg transaction length {avg}");
+    // Every item id within the declared universe.
+    assert!(dataset
+        .transactions()
+        .iter()
+        .all(|t| t.items().iter().all(|i| i.id() < 400)));
+    // Reproducible.
+    let again = params.generate();
+    assert_eq!(again.transactions(), dataset.transactions());
+}
+
+#[test]
+fn virtual_time_is_reproducible_end_to_end() {
+    let dataset = QuestParams::paper_t15_i6()
+        .num_transactions(300)
+        .num_items(80)
+        .seed(8)
+        .generate();
+    let params = ParallelParams::with_min_support_count(9).max_k(4);
+    let run = |_: u32| {
+        ParallelMiner::new(6)
+            .mine(Algorithm::Idd, &dataset, &params)
+            .response_time
+    };
+    let times: Vec<f64> = (0..3).map(run).collect();
+    assert!(
+        times.windows(2).all(|w| w[0] == w[1]),
+        "virtual response times must be bit-identical: {times:?}"
+    );
+}
+
+#[test]
+fn response_time_scales_down_with_processors_for_cd() {
+    // CD's compute is N/P per processor: quadrupling P on a compute-bound
+    // workload must cut the virtual response time substantially.
+    let dataset = QuestParams::paper_t15_i6()
+        .num_transactions(1600)
+        .num_items(150)
+        .num_patterns(60)
+        .seed(9)
+        .generate();
+    let params = ParallelParams::with_min_support(0.02).max_k(3);
+    let t4 = ParallelMiner::new(4)
+        .mine(Algorithm::Cd, &dataset, &params)
+        .response_time;
+    let t16 = ParallelMiner::new(16)
+        .mine(Algorithm::Cd, &dataset, &params)
+        .response_time;
+    assert!(
+        t16 < 0.5 * t4,
+        "16 processors should be much faster than 4: {t16} vs {t4}"
+    );
+}

@@ -1,0 +1,217 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use armine::core::apriori::{apriori_gen, Apriori, AprioriParams};
+use armine::core::binpack::{pack_lpt, partition_by_first_item, partition_round_robin};
+use armine::core::hashtree::{HashTree, HashTreeParams, OwnershipFilter};
+use armine::core::model::expected_distinct_leaves;
+use armine::core::tidlist::TidListIndex;
+use armine::core::{Item, ItemSet, Transaction};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy: a transaction as a set of item ids below `universe`.
+fn arb_transaction(universe: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0..universe, 0..=max_len).prop_map(|s| s.into_iter().collect())
+}
+
+/// Strategy: a sorted candidate itemset of exactly `k` distinct items.
+fn arb_candidate(universe: u32, k: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0..universe, k).prop_map(|s| s.into_iter().collect())
+}
+
+fn to_transactions(raw: &[Vec<u32>]) -> Vec<Transaction> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, ids)| Transaction::new(i as u64, ids.iter().map(|&x| Item(x)).collect()))
+        .collect()
+}
+
+fn to_itemsets(raw: &[Vec<u32>]) -> Vec<ItemSet> {
+    let mut sets: Vec<ItemSet> = raw
+        .iter()
+        .map(|ids| ItemSet::new(ids.iter().map(|&x| Item(x)).collect()))
+        .collect();
+    sets.sort();
+    sets.dedup();
+    sets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The hash tree counts exactly like brute-force subset containment,
+    /// for arbitrary candidates, transactions, and tree shapes.
+    #[test]
+    fn hashtree_equals_brute_force(
+        raw_cands in prop::collection::vec(arb_candidate(24, 3), 1..40),
+        raw_txs in prop::collection::vec(arb_transaction(24, 10), 0..40),
+        branching in 2usize..9,
+        max_leaf in 1usize..6,
+    ) {
+        let cands = to_itemsets(&raw_cands);
+        let txs = to_transactions(&raw_txs);
+        let mut tree = HashTree::build(3, HashTreeParams { branching, max_leaf }, cands.clone());
+        tree.count_all(&txs, &OwnershipFilter::all());
+        for c in &cands {
+            let want = txs.iter().filter(|t| t.contains_set(c)).count() as u64;
+            prop_assert_eq!(tree.count_of(c), Some(want), "candidate {}", c);
+        }
+    }
+
+    /// Support is anti-monotone over the discovered lattice:
+    /// X ⊆ Y ⇒ σ(X) ≥ σ(Y).
+    #[test]
+    fn support_anti_monotonicity(
+        raw_txs in prop::collection::vec(arb_transaction(12, 8), 1..30),
+        min_count in 1u64..4,
+    ) {
+        let txs = to_transactions(&raw_txs);
+        let run = Apriori::new(AprioriParams::with_min_support_count(min_count)).mine(&txs);
+        let all: Vec<(&ItemSet, u64)> = run.frequent.iter().collect();
+        for (x, cx) in &all {
+            for (y, cy) in &all {
+                if x.is_subset_of(y) {
+                    prop_assert!(cx >= cy, "{} ⊆ {} but {} < {}", x, y, cx, cy);
+                }
+            }
+        }
+        // And every frequent count is the true count.
+        for (s, c) in &all {
+            let want = txs.iter().filter(|t| t.contains_set(s)).count() as u64;
+            prop_assert_eq!(*c, want);
+        }
+    }
+
+    /// apriori_gen output is sorted, deduplicated, of size k, and exactly
+    /// the sets whose (k-1)-subsets are all present.
+    #[test]
+    fn apriori_gen_is_sound_and_complete(
+        raw_prev in prop::collection::vec(arb_candidate(10, 2), 1..30),
+    ) {
+        let prev = to_itemsets(&raw_prev);
+        let got = apriori_gen(&prev);
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        let prev_set: std::collections::HashSet<&ItemSet> = prev.iter().collect();
+        // Sound: every output's subsets are frequent.
+        for c in &got {
+            prop_assert_eq!(c.len(), 3);
+            prop_assert!(c.subsets_dropping_one().all(|s| prev_set.contains(&s)));
+        }
+        // Complete: every valid 3-set is produced.
+        let got_set: std::collections::HashSet<&ItemSet> = got.iter().collect();
+        for a in 0u32..10 {
+            for b in a + 1..10 {
+                for c in b + 1..10 {
+                    let cand = ItemSet::from([a, b, c]);
+                    let valid = cand.subsets_dropping_one().all(|s| prev_set.contains(&s));
+                    prop_assert_eq!(got_set.contains(&cand), valid, "{}", cand);
+                }
+            }
+        }
+    }
+
+    /// Candidate partitions cover every candidate exactly once, whatever
+    /// the strategy.
+    #[test]
+    fn partitions_are_exact_covers(
+        raw_cands in prop::collection::vec(arb_candidate(20, 2), 1..60),
+        procs in 1usize..9,
+    ) {
+        let cands = to_itemsets(&raw_cands);
+        for part in [
+            partition_round_robin(&cands, procs),
+            partition_by_first_item(&cands, 20, procs),
+        ] {
+            let mut all: Vec<ItemSet> = part.parts.iter().flatten().cloned().collect();
+            all.sort();
+            prop_assert_eq!(&all, &cands);
+        }
+    }
+
+    /// LPT packing never loses weight and respects the 4/3 OPT bound
+    /// against the trivial lower bounds max(w_max, total/bins).
+    #[test]
+    fn lpt_bounds(
+        weights in prop::collection::vec(0u64..1000, 1..50),
+        bins in 1usize..10,
+    ) {
+        let p = pack_lpt(&weights, bins);
+        let total: u64 = weights.iter().sum();
+        prop_assert_eq!(p.loads.iter().sum::<u64>(), total);
+        let lower = (*weights.iter().max().unwrap()).max(total.div_ceil(bins as u64));
+        let max_load = *p.loads.iter().max().unwrap();
+        // LPT ≤ 4/3·OPT + ... ; use the safe bound 4/3·lower + max weight.
+        prop_assert!(
+            max_load * 3 <= lower * 4 + 3 * *weights.iter().max().unwrap(),
+            "max load {} vs lower bound {}",
+            max_load,
+            lower
+        );
+    }
+
+    /// V(i,j) stays within [1, min(i,j)] and is monotone in i.
+    #[test]
+    fn v_model_bounds(i in 1u32..500, j in 1u32..500) {
+        let v = expected_distinct_leaves(i as f64, j as f64);
+        prop_assert!(v >= 1.0 - 1e-9);
+        prop_assert!(v <= (i.min(j)) as f64 + 1e-9);
+        let v_next = expected_distinct_leaves((i + 1) as f64, j as f64);
+        prop_assert!(v_next >= v);
+    }
+
+    /// Mining with a memory cap returns the identical lattice with at
+    /// least as many scans.
+    #[test]
+    fn memory_cap_invariance(
+        raw_txs in prop::collection::vec(arb_transaction(14, 8), 1..30),
+        cap in 1usize..8,
+    ) {
+        let txs = to_transactions(&raw_txs);
+        let free = Apriori::new(AprioriParams::with_min_support_count(2)).mine(&txs);
+        let capped = Apriori::new(
+            AprioriParams::with_min_support_count(2).memory_capacity(cap),
+        )
+        .mine(&txs);
+        let a: HashMap<ItemSet, u64> = free.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+        let b: HashMap<ItemSet, u64> =
+            capped.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+        prop_assert_eq!(a, b);
+        prop_assert!(capped.total_db_scans() >= free.total_db_scans());
+    }
+
+    /// Horizontal (Apriori/hash-tree) and vertical (tid-list) counting
+    /// agree on every frequent itemset — two independent implementations
+    /// cross-validating each other.
+    #[test]
+    fn apriori_agrees_with_tidlist_index(
+        raw_txs in prop::collection::vec(arb_transaction(14, 9), 1..40),
+        min_count in 1u64..4,
+    ) {
+        let txs = to_transactions(&raw_txs);
+        let run = Apriori::new(AprioriParams::with_min_support_count(min_count)).mine(&txs);
+        let index = TidListIndex::build(&txs);
+        for (set, count) in run.frequent.iter() {
+            prop_assert_eq!(index.support(set), count, "{}", set);
+        }
+    }
+
+    /// The IDD root filter never changes counted results — only work.
+    #[test]
+    fn bitmap_filter_preserves_owned_counts(
+        raw_cands in prop::collection::vec(arb_candidate(16, 2), 1..30),
+        raw_txs in prop::collection::vec(arb_transaction(16, 8), 0..30),
+        procs in 2usize..5,
+    ) {
+        let cands = to_itemsets(&raw_cands);
+        let txs = to_transactions(&raw_txs);
+        let part = partition_by_first_item(&cands, 16, procs);
+        for (mine, filter) in part.parts.iter().zip(&part.filters) {
+            let mut tree = HashTree::build(2, HashTreeParams::default(), mine.clone());
+            tree.count_all(&txs, filter);
+            for c in mine {
+                let want = txs.iter().filter(|t| t.contains_set(c)).count() as u64;
+                prop_assert_eq!(tree.count_of(c), Some(want));
+            }
+        }
+    }
+}
