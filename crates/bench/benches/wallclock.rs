@@ -1,0 +1,44 @@
+//! Host wall-clock of the simulator hot path at scale: one iteration =
+//! a full P=64, 5-pass, Figure-10-style mining run. This is the bench
+//! that motivated sharing transaction pages (`Arc<[Transaction]>`): at
+//! 64 ranks every page is re-sent dozens of times per pass, so deep-
+//! copying page payloads dominated host time while contributing nothing
+//! to the simulated (virtual-time) outputs. Numbers before/after the
+//! change are recorded in EXPERIMENTS.md.
+
+use armine_bench::workloads;
+use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const PROCS: usize = 64;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wallclock");
+    let dataset = workloads::scaleup(PROCS, 200, 1010);
+    let params = ParallelParams::with_min_support(0.015)
+        .page_size(100)
+        .max_k(5);
+    for algo in [
+        Algorithm::Cd,
+        Algorithm::Dd,
+        Algorithm::DdComm,
+        Algorithm::Idd,
+        Algorithm::Hd {
+            group_threshold: 500,
+        },
+    ] {
+        group.bench_function(format!("{}_p{PROCS}", algo.name()), |b| {
+            let miner = ParallelMiner::new(PROCS);
+            b.iter(|| miner.mine(algo, std::hint::black_box(&dataset), &params));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(20)).warm_up_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

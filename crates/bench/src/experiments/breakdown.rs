@@ -66,8 +66,7 @@ pub fn run(procs_list: &[usize]) -> Table {
             / cd.response_time;
         // IDD imbalance: how much of the makespan the average rank is NOT
         // doing useful work because the slowest rank holds everyone up.
-        let avg_busy: f64 =
-            idd.ranks.iter().map(|r| r.busy).sum::<f64>() / idd.ranks.len() as f64;
+        let avg_busy: f64 = idd.ranks.iter().map(|r| r.busy).sum::<f64>() / idd.ranks.len() as f64;
         let max_busy = idd.ranks.iter().map(|r| r.busy).fold(0.0f64, f64::max);
         let idd_imbalance = (max_busy - avg_busy) / idd.response_time;
         let idd_move: f64 = idd.ranks.iter().map(|r| r.comm_time()).sum::<f64>()

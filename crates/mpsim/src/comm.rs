@@ -299,6 +299,13 @@ impl<'a> Scope<'a> {
     /// Non-blocking send of `value` (`bytes` on the wire) to local rank
     /// `to`. The message is immediately in flight; the handle carries the
     /// sender-side completion time.
+    ///
+    /// The payload moves by **ownership transfer**, never by copy: the
+    /// boxed value crosses threads as-is, so shared-ownership payloads
+    /// (e.g. `Arc<[T]>` transaction pages) cost one refcount bump per
+    /// hop regardless of size. Virtual wire cost is charged entirely
+    /// from the caller-supplied logical `bytes`, so sharing the payload
+    /// leaves every simulated output (clocks, traffic) bit-identical.
     pub fn isend<T: Send + 'static>(
         &mut self,
         to: usize,

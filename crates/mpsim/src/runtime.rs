@@ -205,6 +205,34 @@ mod tests {
     }
 
     #[test]
+    fn shared_payloads_move_without_copying_but_charge_wire_bytes() {
+        // Send an `Arc<[u64]>` payload: the receiver must get the *same*
+        // allocation (refcount bump, no deep copy) while the simulator
+        // still charges the full logical wire size — the invariant the
+        // parallel crate's shared transaction pages rely on.
+        use std::sync::Arc;
+        let page: Arc<[u64]> = Arc::from((0..1024u64).collect::<Vec<_>>());
+        let sent = page.clone();
+        let r = t3e(2).run(move |comm| {
+            let mut w = comm.world();
+            if w.rank() == 0 {
+                w.send(1, 3, sent.clone(), 8 * 1024);
+                None
+            } else {
+                Some(w.recv::<Arc<[u64]>>(0, 3))
+            }
+        });
+        let received = r.results[1].as_ref().expect("rank 1 received the page");
+        assert!(
+            Arc::ptr_eq(received, &page),
+            "payload must be the same allocation, not a copy"
+        );
+        // Wire accounting still reflects the logical page size.
+        assert_eq!(r.ranks[0].bytes_sent, 8 * 1024);
+        assert_eq!(r.ranks[1].bytes_received, 8 * 1024);
+    }
+
+    #[test]
     fn receive_waits_for_arrival_and_counts_idle() {
         let r = t3e(2).run(|comm| {
             let mut w = comm.world();

@@ -6,6 +6,16 @@ use armine_core::apriori::apriori_gen;
 use armine_core::hashtree::{HashTree, HashTreeParams, OwnershipFilter, TreeStats};
 use armine_core::{Item, ItemSet, Transaction};
 use armine_mpsim::{Comm, Scope};
+use std::sync::Arc;
+
+/// An immutable, shared page of transactions — the unit of data movement.
+///
+/// Pages are produced once by [`paginate`] and then only ever *shared*:
+/// sending one through the simulator clones the `Arc` (a refcount bump),
+/// never the transactions. The virtual wire cost is unaffected — every
+/// send still charges the page's full logical [`page_bytes`] — so this is
+/// purely a host-time optimization (see DESIGN.md §5).
+pub(crate) type TransactionPage = Arc<[Transaction]>;
 
 /// Tag space for transaction pages (round/step encoded in high bits).
 pub(crate) const TAG_DATA: u64 = 1 << 20;
@@ -133,11 +143,13 @@ pub(crate) fn parallel_pass1(comm: &mut Comm, ctx: &RankCtx) -> Vec<(ItemSet, u6
         .collect()
 }
 
-/// Splits a slice of transactions into owned pages of at most `page_size`.
-pub(crate) fn paginate(transactions: &[Transaction], page_size: usize) -> Vec<Vec<Transaction>> {
+/// Splits a slice of transactions into shared pages of at most
+/// `page_size`. This is the **only** place page payloads are copied; all
+/// subsequent movement is by `Arc` clone.
+pub(crate) fn paginate(transactions: &[Transaction], page_size: usize) -> Vec<TransactionPage> {
     transactions
         .chunks(page_size.max(1))
-        .map(<[Transaction]>::to_vec)
+        .map(Arc::from)
         .collect()
 }
 
@@ -170,39 +182,51 @@ pub(crate) fn merge_levels(parts: Vec<Vec<(ItemSet, u64)>>) -> Vec<(ItemSet, u64
 /// counting work performed.
 pub(crate) fn ring_shift_count(
     scope: &mut Scope<'_>,
-    my_pages: &[Vec<Transaction>],
+    my_pages: &[TransactionPage],
     max_pages: usize,
     tree: &mut HashTree,
     filter: &OwnershipFilter,
 ) -> TreeStats {
     let p = scope.size();
     let mut stats = TreeStats::default();
+    // Members whose slice has fewer pages than the ring's longest member
+    // circulate this placeholder instead: the (zero-byte) message must
+    // still flow each step so the shift pattern stays aligned, but there
+    // is nothing in it to count.
+    let empty: TransactionPage = Arc::from(Vec::new());
+    // Counts `sbuf` through the tree and charges the clock — skipped for
+    // empty buffers, which is virtual-time neutral (an empty batch yields
+    // an all-zero work delta) and saves the host-side bookkeeping.
+    let mut count_buf = |scope: &mut Scope<'_>, sbuf: &TransactionPage, stats: &mut TreeStats| {
+        if sbuf.is_empty() {
+            return;
+        }
+        tree.count_all(sbuf, filter);
+        let delta = *tree.stats();
+        tree.reset_stats();
+        charge_tree_work(scope.comm(), &delta);
+        *stats = stats.merged(&delta);
+    };
     for page_idx in 0..max_pages {
-        // FillBuffer: my own page for this round (possibly empty if my
-        // slice has fewer pages than the longest member's).
-        let mut sbuf: Vec<Transaction> = my_pages.get(page_idx).cloned().unwrap_or_default();
+        // FillBuffer: my own page for this round.
+        let mut sbuf: TransactionPage = my_pages
+            .get(page_idx)
+            .cloned()
+            .unwrap_or_else(|| empty.clone());
         for step in 0..p.saturating_sub(1) {
             let tag = TAG_DATA | ((page_idx as u64) << 24) | ((step as u64) << 8);
             let rh = scope.irecv(scope.left(), tag);
             let bytes = page_bytes(&sbuf);
             let sh = scope.isend(scope.right(), tag, sbuf.clone(), bytes);
             // Subset(HTree, SBuf) — overlapped with the in-flight shift.
-            tree.count_all(&sbuf, filter);
-            let delta = *tree.stats();
-            tree.reset_stats();
-            charge_tree_work(scope.comm(), &delta);
-            stats = stats.merged(&delta);
+            count_buf(scope, &sbuf, &mut stats);
             // MPI_Waitall.
-            let incoming: Vec<Transaction> = scope.wait_recv(rh);
+            let incoming: TransactionPage = scope.wait_recv(rh);
             scope.wait_send(sh);
             sbuf = incoming;
         }
         // Process the final buffer (travelled the whole ring).
-        tree.count_all(&sbuf, filter);
-        let delta = *tree.stats();
-        tree.reset_stats();
-        charge_tree_work(scope.comm(), &delta);
-        stats = stats.merged(&delta);
+        count_buf(scope, &sbuf, &mut stats);
     }
     stats
 }
@@ -280,7 +304,11 @@ mod tests {
         assert_eq!(pages.len(), 3);
         assert_eq!(pages[0].len(), 3);
         assert_eq!(pages[2].len(), 1);
-        let flat: Vec<u64> = pages.iter().flatten().map(Transaction::tid).collect();
+        let flat: Vec<u64> = pages
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(Transaction::tid)
+            .collect();
         assert_eq!(flat, (0..7).collect::<Vec<u64>>());
     }
 
@@ -300,6 +328,56 @@ mod tests {
         let level = vec![(ItemSet::from([1, 2]), 5u64), (ItemSet::from([3]), 2u64)];
         // 8 header + (8 + 8) + (4 + 8).
         assert_eq!(level_wire_size(&level), 8 + 16 + 12);
+    }
+
+    /// Maximally skewed page counts: one ring member owns every page, the
+    /// others own none and circulate empty placeholder buffers. The
+    /// empty buffers must still be *sent* every step (ring causality —
+    /// each member's receive in step `s` matches its left neighbour's
+    /// send in step `s`) but never counted, and every rank must still see
+    /// every transaction exactly once.
+    #[test]
+    fn ring_shift_counts_skewed_pages_once_per_rank() {
+        use armine_mpsim::Simulator;
+        let p = 4;
+        let result = Simulator::new(p).run(|comm| {
+            let local: Vec<Transaction> = if comm.rank() == 0 {
+                (0..10).map(|i| tx(i, &[1, 2, 3])).collect()
+            } else {
+                Vec::new()
+            };
+            let my_pages = paginate(&local, 3); // rank 0: 4 pages; others: 0.
+            let mut tree = HashTree::build(
+                2,
+                HashTreeParams::default(),
+                vec![ItemSet::from([1, 2]), ItemSet::from([1, 9])],
+            );
+            tree.reset_stats();
+            let mut world = comm.world();
+            let page_counts: Vec<u64> = world.allgather(my_pages.len() as u64, 8);
+            let max_pages = page_counts.iter().copied().max().unwrap_or(0) as usize;
+            let stats = ring_shift_count(
+                &mut world,
+                &my_pages,
+                max_pages,
+                &mut tree,
+                &OwnershipFilter::all(),
+            );
+            (tree.count_of(&ItemSet::from([1, 2])), stats.transactions)
+        });
+        for (rank, (count, seen)) in result.results.iter().enumerate() {
+            assert_eq!(*count, Some(10), "rank {rank} miscounted");
+            assert_eq!(*seen, 10, "rank {rank} processed a wrong batch total");
+        }
+        // Ring causality: every member sends one message per (page, step),
+        // empty or not — 4 pages × 3 steps — plus its one allgather
+        // contribution per peer round; no rank may short-circuit.
+        let msgs: Vec<u64> = result.ranks.iter().map(|r| r.messages_sent).collect();
+        assert!(
+            msgs.iter().all(|&m| m == msgs[0]),
+            "skewed ownership must not change the message pattern: {msgs:?}"
+        );
+        assert!(msgs[0] >= (4 * 3) as u64, "ring sends missing: {msgs:?}");
     }
 
     #[test]

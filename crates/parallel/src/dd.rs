@@ -17,12 +17,12 @@
 
 use crate::common::{
     build_tree_charged, count_batch_charged, level_wire_size, merge_levels, page_bytes, paginate,
-    ring_shift_count, PassResult, RankCtx, TAG_DATA,
+    ring_shift_count, PassResult, RankCtx, TransactionPage, TAG_DATA,
 };
 use crate::config::ParallelParams;
 use armine_core::binpack::partition_round_robin;
 use armine_core::hashtree::{OwnershipFilter, TreeStats};
-use armine_core::{ItemSet, Transaction};
+use armine_core::ItemSet;
 use armine_mpsim::Comm;
 
 /// How DD moves transaction pages between processors.
@@ -66,7 +66,9 @@ pub(crate) fn count_pass(
                 let mut world = comm.world();
                 // Send my page of this round to every other processor
                 // (asynchronous in the paper, but the single-ported sender
-                // still serializes the P−1 link occupancies).
+                // still serializes the P−1 link occupancies). Each send is
+                // an `Arc` clone of the same shared page; only the charged
+                // wire bytes scale with P.
                 if round < my_pages.len() {
                     let page = &my_pages[round];
                     let bytes = page_bytes(page);
@@ -79,7 +81,7 @@ pub(crate) fn count_pass(
                 // Drain the P−1 incoming pages of this round. The paper
                 // polls whichever buffer has data; a fixed order moves the
                 // same bytes through the same single port, so totals agree.
-                let mut batch: Vec<Vec<Transaction>> = Vec::new();
+                let mut batch: Vec<TransactionPage> = Vec::new();
                 if round < my_pages.len() {
                     batch.push(my_pages[round].clone());
                 }

@@ -118,7 +118,7 @@ pub(crate) fn count_pass(
         let mut generated = 0u64;
         let mut local_probes = 0u64;
         if let Some(page) = my_pages.get(round) {
-            for t in page {
+            for t in page.iter() {
                 stats.transactions += 1;
                 for subset in t.k_subsets(k) {
                     generated += 1;

@@ -51,7 +51,7 @@ pub(crate) fn count_pass_single_source(
     candidates: Vec<ItemSet>,
     params: &ParallelParams,
 ) -> PassResult {
-    use crate::common::{count_batch_charged, page_bytes, TAG_DATA};
+    use crate::common::{count_batch_charged, page_bytes, TransactionPage, TAG_DATA};
     let p = comm.size();
     let me = comm.rank();
     let total = candidates.len();
@@ -76,13 +76,13 @@ pub(crate) fn count_pass_single_source(
     for page_idx in 0..num_pages {
         let tag = TAG_DATA | (page_idx as u64) << 8;
         let mut world = comm.world();
-        let page: Vec<_> = if me == 0 {
+        let page: TransactionPage = if me == 0 {
             my_pages[page_idx].clone()
         } else {
             world.recv(me - 1, tag)
         };
-        // Forward down the chain before counting, so downstream ranks
-        // overlap with our subset work.
+        // Forward down the chain (a shared-page refcount bump) before
+        // counting, so downstream ranks overlap with our subset work.
         if me + 1 < p {
             let bytes = page_bytes(&page);
             let sh = world.isend(me + 1, tag, page.clone(), bytes);

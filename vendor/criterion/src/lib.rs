@@ -1,0 +1,316 @@
+//! Offline stand-in for the `criterion` crate, vendored so the workspace
+//! builds without network access. It is a real (if minimal) wall-clock
+//! harness: warm-up, multiple timed samples, and a `min/median/max`
+//! per-iteration report — enough to compare host-time performance across
+//! revisions, which is what this repo's benches are for. Statistical
+//! machinery (outlier analysis, regression detection, HTML reports) is
+//! intentionally absent.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortizes setup; the distinction only
+/// affects batching granularity upstream, so it is accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    /// `--test` mode: run every benchmark exactly once, untimed.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one sample");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget the samples aim to fill.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Applies harness CLI arguments (`--test`, `--bench`, and an optional
+    /// name filter), as cargo's bench runner passes them.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo or users may pass that we accept and ignore.
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed `group/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{id}: ok");
+            return;
+        }
+        // Warm-up: run single iterations until the budget elapses; the
+        // last observed time calibrates the sample iteration count.
+        let warm_start = Instant::now();
+        let per_iter = loop {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if warm_start.elapsed() >= self.warm_up_time {
+                break b.elapsed.max(Duration::from_nanos(1));
+            }
+        };
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 30) as u64;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{id:<50} time: [{} {} {}]  ({} samples × {iters} iters)",
+            format_time(min),
+            format_time(median),
+            format_time(max),
+            samples.len(),
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (upstream writes summary reports here; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut runs = 0u64;
+        quick().bench_function("counting", |b| b.iter(|| runs += 1));
+        assert!(runs > 0, "the routine must actually execute");
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_run() {
+        let mut c = quick();
+        let mut hits = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut seen = Vec::new();
+        let mut counter = 0u64;
+        quick().bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    counter += 1;
+                    counter
+                },
+                |input| seen.push(input),
+                BatchSize::LargeInput,
+            );
+        });
+        assert!(!seen.is_empty());
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "inputs must be fresh");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = quick();
+        c.filter = Some("match-me".into());
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran, "filtered-out benches must not run");
+        c.bench_function("has-match-me-inside", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = quick();
+        c.test_mode = true;
+        let mut runs = 0u64;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

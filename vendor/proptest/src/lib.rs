@@ -1,0 +1,425 @@
+//! Offline stand-in for the `proptest` crate, vendored so the workspace
+//! builds without network access. It keeps proptest's *model* — a
+//! [`Strategy`](strategy::Strategy) produces random values, the
+//! [`proptest!`] macro runs each property over many generated cases, and
+//! failures report the generated inputs — but performs no shrinking: a
+//! failing case is reported verbatim. Case generation is fully
+//! deterministic (seeded from the property's name), so failures reproduce
+//! exactly on re-run.
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The `Just` strategy: always yields a clone of the value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_set`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// A collection-size specification: an exact size or a size range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with a size drawn from `size`. As in
+    /// upstream proptest, the target size is best-effort when the element
+    /// domain is too small to supply enough distinct values.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Inserting duplicates does not grow the set; bound the attempts
+            // so a too-small element domain cannot loop forever.
+            let mut attempts = 0usize;
+            let max_attempts = 100 * (target + 1);
+            while out.len() < target && attempts < max_attempts {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic per-property RNG and run configuration.
+
+    use rand::prelude::*;
+
+    /// Per-property generator; seeded from the property name so each test
+    /// sees a stable stream across runs and machines.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        /// The underlying generator (used by strategy implementations).
+        pub rng: StdRng,
+    }
+
+    impl TestRng {
+        /// A generator seeded from the property's identity.
+        pub fn for_test(file: &str, name: &str) -> Self {
+            // FNV-1a over file and test name: stable, dependency-free.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in file.bytes().chain(name.bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+
+    /// Run configuration: how many cases each property executes.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// The commonly imported surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property; on failure the harness reports
+/// the generated inputs for the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {
+        assert_eq!($lhs, $rhs)
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        assert_eq!($lhs, $rhs, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {
+        assert_ne!($lhs, $rhs)
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        assert_ne!($lhs, $rhs, $($fmt)+)
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over many generated argument
+/// tuples. Failures re-panic with the generated inputs printed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = $crate::test_runner::Config::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one test item per invocation.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::for_test(file!(), stringify!($name));
+            for case in 0..config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest: property `{}` failed at case {}/{} with inputs:",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                    );
+                    $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::for_test(file!(), "ranges");
+        for _ in 0..1000 {
+            let x = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (0usize..=4).generate(&mut rng);
+            assert!(y <= 4);
+        }
+    }
+
+    #[test]
+    fn vec_and_btree_set_respect_sizes() {
+        let mut rng = TestRng::for_test(file!(), "collections");
+        for _ in 0..200 {
+            let v = collection::vec(0u64..100, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            let s = collection::btree_set(0u32..1000, 3).generate(&mut rng);
+            assert_eq!(s.len(), 3);
+            let t = collection::btree_set(0u32..1000, 0..=5).generate(&mut rng);
+            assert!(t.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn btree_set_caps_attempts_on_tiny_domains() {
+        let mut rng = TestRng::for_test(file!(), "tiny-domain");
+        // Only 2 distinct values exist; asking for 10 must terminate.
+        let s = collection::btree_set(0u32..2, 10).generate(&mut rng);
+        assert!(s.len() <= 2);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::for_test(file!(), "map");
+        let doubled = (1u32..10).prop_map(|x| x * 2).generate(&mut rng);
+        assert!(doubled % 2 == 0 && (2..20).contains(&doubled));
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let a = collection::vec(0u64..50, 4).generate(&mut TestRng::for_test("f", "t"));
+        let b = collection::vec(0u64..50, 4).generate(&mut TestRng::for_test("f", "t"));
+        let c = collection::vec(0u64..50, 4).generate(&mut TestRng::for_test("f", "u"));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different names must seed different streams");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: multiple args, trailing comma, doc comment.
+        #[test]
+        fn macro_smoke(
+            xs in collection::vec(0u32..50, 1..8),
+            k in 1usize..4,
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!((1..4).contains(&k));
+            prop_assert_eq!(xs.len(), xs.as_slice().len());
+        }
+
+        /// No trailing comma, single line.
+        #[test]
+        fn macro_smoke_no_trailing(a in 0u64..10, b in 0u64..10) {
+            prop_assert!(a < 10 && b < 10);
+        }
+    }
+}
