@@ -13,6 +13,8 @@ fn main() {
     emit(&ablation::run_tree_shape(), "ablation_tree_shape");
     emit(&ablation::run_page_size(), "ablation_page_size");
     emit(&ablation::run_topology(), "ablation_topology");
+    emit(&faults::run_drop_rate(), "faults_drop_rate");
+    emit(&faults::run_crash_recovery(), "faults_crash_recovery");
     emit(&fig11::run(&fig11::default_procs()), "fig11_leaf_visits");
     emit(
         &fig12::run(&fig12::default_supports()),

@@ -1,0 +1,7 @@
+//! Fault-injection overhead: retransmission cost vs drop rate, and the
+//! price of a pass-boundary crash recovery, at P=64.
+use armine_bench::experiments::{emit, faults};
+fn main() {
+    emit(&faults::run_drop_rate(), "faults_drop_rate");
+    emit(&faults::run_crash_recovery(), "faults_crash_recovery");
+}

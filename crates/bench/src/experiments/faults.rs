@@ -1,0 +1,122 @@
+//! Fault-overhead experiment: how much virtual response time the
+//! ack/retransmit machinery and the pass-boundary recovery protocol cost
+//! at P=64, as the injected fault rate grows.
+//!
+//! Two sweeps:
+//!
+//! 1. **Transient faults** — message drop rate 0 → 20% (each drop pays an
+//!    exponential-backoff retransmission timeout at the sender). Reported
+//!    as absolute response time and overhead relative to the fault-free
+//!    run, for CD (reduction-dominated traffic) and HD (ring pipelines
+//!    within grid columns).
+//! 2. **Crash recovery** — one rank dies at a pass boundary, on top of a
+//!    fixed 2% drop rate. The survivors adopt its transaction partitions
+//!    and re-execute the interrupted pass; the overhead column isolates
+//!    what that re-execution plus the shifted load balance costs.
+//!
+//! Every run mines the identical frequent lattice (asserted here): the
+//! fault layer may cost time, never answers.
+
+use crate::report::Table;
+use crate::workloads;
+use armine_mpsim::{CrashPoint, FaultPlan};
+use armine_parallel::{Algorithm, ParallelMiner, ParallelParams, ParallelRun};
+
+const PROCS: usize = 64;
+
+fn params() -> ParallelParams {
+    ParallelParams::with_min_support(0.01)
+        .page_size(100)
+        .max_k(3)
+}
+
+fn mine(miner: &ParallelMiner, algorithm: Algorithm, plan: Option<&FaultPlan>) -> ParallelRun {
+    let dataset = workloads::scaleup(PROCS, 100, 5252);
+    miner
+        .mine_with_faults(algorithm, &dataset, &params(), plan)
+        .expect("every plan in this sweep is recoverable")
+}
+
+fn lattice_len(run: &ParallelRun) -> usize {
+    run.frequent.iter().count()
+}
+
+/// Sweep 1: response time vs message drop rate (no crashes).
+pub fn run_drop_rate() -> Table {
+    let miner = ParallelMiner::new(PROCS);
+    let hd = Algorithm::Hd {
+        group_threshold: 500,
+    };
+    let cd_base = mine(&miner, Algorithm::Cd, None);
+    let hd_base = mine(&miner, hd, None);
+    let mut table = Table::new(
+        "Fault overhead — response time vs message drop rate (P=64)",
+        &[
+            "drop rate",
+            "CD ms",
+            "CD overhead",
+            "CD retransmits",
+            "HD ms",
+            "HD overhead",
+            "HD retransmits",
+        ],
+    );
+    for permille in [0u32, 10, 50, 100, 200] {
+        let plan = FaultPlan::new()
+            .seed(u64::from(permille) + 1)
+            .drop_rate(f64::from(permille) / 1000.0);
+        let cd = mine(&miner, Algorithm::Cd, Some(&plan));
+        let hd_run = mine(&miner, hd, Some(&plan));
+        assert_eq!(lattice_len(&cd), lattice_len(&cd_base));
+        assert_eq!(lattice_len(&hd_run), lattice_len(&hd_base));
+        table.row(&[
+            &format!("{:.1}%", f64::from(permille) / 10.0),
+            &format!("{:.2}", cd.response_time * 1e3),
+            &format!(
+                "{:+.1}%",
+                (cd.response_time / cd_base.response_time - 1.0) * 100.0
+            ),
+            &cd.total_retransmits(),
+            &format!("{:.2}", hd_run.response_time * 1e3),
+            &format!(
+                "{:+.1}%",
+                (hd_run.response_time / hd_base.response_time - 1.0) * 100.0
+            ),
+            &hd_run.total_retransmits(),
+        ]);
+    }
+    table
+}
+
+/// Sweep 2: cost of losing one rank at each pass boundary (2% drops).
+pub fn run_crash_recovery() -> Table {
+    let miner = ParallelMiner::new(PROCS);
+    let baseline = mine(&miner, Algorithm::Cd, None);
+    let mut table = Table::new(
+        "Fault overhead — one rank crash at a pass boundary, CD, 2% drops (P=64)",
+        &["crash", "response ms", "overhead", "recoveries", "timeouts"],
+    );
+    let transient = FaultPlan::new().seed(77).drop_rate(0.02);
+    let mut scenarios = vec![("none".to_owned(), transient.clone())];
+    for pass in [2usize, 3] {
+        scenarios.push((
+            format!("rank 17 @ pass {pass}"),
+            transient.clone().crash(17, CrashPoint::AtPass(pass)),
+        ));
+    }
+    for (label, plan) in scenarios {
+        let run = mine(&miner, Algorithm::Cd, Some(&plan));
+        assert_eq!(lattice_len(&run), lattice_len(&baseline));
+        table.row(&[
+            &label,
+            &format!("{:.2}", run.response_time * 1e3),
+            &format!(
+                "{:+.1}%",
+                (run.response_time / baseline.response_time - 1.0) * 100.0
+            ),
+            &run.total_recoveries(),
+            &run.total_timeouts(),
+        ]);
+    }
+    table
+}

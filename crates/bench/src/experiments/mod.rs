@@ -18,6 +18,7 @@
 
 pub mod ablation;
 pub mod breakdown;
+pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -10,7 +10,7 @@ use armine_core::rules::generate_rules;
 use armine_core::stats::dataset_stats;
 use armine_core::summaries::{closed_itemsets, maximal_itemsets};
 use armine_datagen::QuestParams;
-use armine_mpsim::MachineProfile;
+use armine_mpsim::{FaultPlan, MachineProfile};
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
 use std::io::Write;
 
@@ -29,6 +29,7 @@ USAGE:
                   [--machine t3e|sp2|ideal] [--group-threshold M]
                   [--page-size N] [--memory-capacity N] [--max-k K]
                   [--eld-permille N] [--buckets B] [--filter-passes N]
+                  [--fault-plan FILE]   (see experiments/faults/*.plan)
   armine model    --n N --m M --c C --s S --procs P [--g G] [--machine t3e|sp2]
   armine stats    --input FILE [--top N]
   armine summary  --input FILE --min-support FRAC [--max-k K] [--kind maximal|closed]
@@ -199,12 +200,20 @@ fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>>
     params.page_size = args.or_default("page-size", 1000)?;
     params.max_k = args.optional("max-k")?;
     params.memory_capacity = args.optional("memory-capacity")?;
+    let plan_path: Option<String> = args.optional("fault-plan")?;
     args.finish()?;
+    let plan = match &plan_path {
+        Some(path) => Some(FaultPlan::load(path).map_err(ArgError)?),
+        None => None,
+    };
 
     let dataset = read_transactions_auto(&input)?;
     let miner = ParallelMiner::new(procs).machine(machine);
     let started = std::time::Instant::now();
-    let run = miner.mine(algorithm, &dataset, &params);
+    let run = match &plan {
+        Some(plan) => miner.mine_with_faults(algorithm, &dataset, &params, Some(plan))?,
+        None => miner.mine(algorithm, &dataset, &params),
+    };
     writeln!(
         out,
         "{} on {} simulated {} processors ({} transactions, min count {}):",
@@ -227,6 +236,18 @@ fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>>
         run.total_bytes() / 1_000_000,
         run.compute_imbalance() * 100.0
     )?;
+    if let Some(plan) = &plan {
+        let crashed = plan.crashed_ranks();
+        writeln!(
+            out,
+            "  faults: {} retransmits, {} detector timeouts, {} recoveries ({} crashed of {} ranks)",
+            run.total_retransmits(),
+            run.total_timeouts(),
+            run.total_recoveries(),
+            crashed.len(),
+            procs
+        )?;
+    }
     for pass in &run.passes {
         writeln!(
             out,
@@ -563,6 +584,142 @@ mod tests {
             "xml",
         ])
         .contains("xml"));
+    }
+
+    #[test]
+    fn parallel_with_example_fault_plans() {
+        let db = temp("faulted.txt");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "200",
+            "--items",
+            "50",
+            "--patterns",
+            "15",
+            "--seed",
+            "9",
+        ]);
+        let faults_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../experiments/faults");
+        // A crash-free straggler grid works for every algorithm.
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "hd",
+            "--procs",
+            "8",
+            "--min-support",
+            "0.04",
+            "--max-k",
+            "3",
+            "--fault-plan",
+            &format!("{faults_dir}/straggler-grid.plan"),
+        ]);
+        assert!(o.contains("faults:"), "missing fault summary:\n{o}");
+        assert!(o.contains("retransmits"));
+        assert!(o.contains("0 crashed of 8 ranks"));
+        // One crash per pass: the run recovers and reports the crashes.
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "8",
+            "--min-support",
+            "0.04",
+            "--max-k",
+            "3",
+            "--fault-plan",
+            &format!("{faults_dir}/single-crash-per-pass.plan"),
+        ]);
+        assert!(o.contains("2 crashed of 8 ranks"), "{o}");
+        assert!(!o.contains(" 0 recoveries"), "expected recoveries:\n{o}");
+    }
+
+    #[test]
+    fn parallel_fault_plan_errors_are_clean() {
+        let db = temp("faulterr.txt");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "60",
+            "--items",
+            "20",
+            "--patterns",
+            "5",
+        ]);
+        // Missing file.
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "3",
+            "--fault-plan",
+            "/nonexistent/plan",
+        ])
+        .contains("cannot read fault plan"));
+        // Malformed plan file.
+        let bad = temp("bad.plan");
+        std::fs::write(&bad, "drop_rate = lots\n").unwrap();
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "3",
+            "--fault-plan",
+            &bad,
+        ])
+        .contains("invalid rate"));
+        // A plan crashing a rank the run doesn't have is rejected.
+        let oob = temp("oob.plan");
+        std::fs::write(&oob, "crash 5 = pass:2\n").unwrap();
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "3",
+            "--fault-plan",
+            &oob,
+        ])
+        .contains("out of range"));
+        // Crash plans need a crash-recoverable algorithm.
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "npa",
+            "--procs",
+            "8",
+            "--min-count",
+            "3",
+            "--fault-plan",
+            &oob,
+        ])
+        .contains("cannot recover from rank crashes"));
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! The per-rank communicator: clocks, point-to-point messaging, and
 //! collectives.
 
+use crate::fault::{FaultPlan, DECISION_DELAY, DECISION_DROP};
 use crate::machine::MachineProfile;
-use crate::message::{Envelope, MatchKey};
+use crate::message::{Envelope, MatchKey, Packet};
 use crate::stats::RankStats;
 use crate::topology::Topology;
 use crate::trace::TraceEvent;
 use crossbeam::channel::{Receiver, Sender};
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Handle of a non-blocking send; [`Scope::wait_send`] synchronizes the
 /// sender's clock with the link-occupancy completion time.
@@ -26,6 +28,65 @@ pub struct RecvHandle {
     key: MatchKey,
 }
 
+/// Why a fault-aware receive completed exceptionally instead of
+/// delivering a message. Failure detection is deterministic: a receive
+/// fails if and only if the awaited sender crashed or aborted *before
+/// sending* the matched message in its own virtual program order (the
+/// per-sender FIFO channel makes "before" well defined).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecvFault {
+    /// The awaited sender crashed before sending.
+    Dead {
+        /// Global rank of the crashed sender.
+        rank: usize,
+        /// Virtual time of the crash.
+        at: f64,
+    },
+    /// The awaited sender abandoned the current attempt epoch before
+    /// sending (it observed a fault and is headed for recovery).
+    Aborted {
+        /// Global rank of the aborting sender.
+        rank: usize,
+        /// Virtual time of the abort.
+        at: f64,
+    },
+}
+
+impl RecvFault {
+    /// The peer rank this fault is about.
+    pub fn rank(&self) -> usize {
+        match *self {
+            RecvFault::Dead { rank, .. } | RecvFault::Aborted { rank, .. } => rank,
+        }
+    }
+}
+
+impl std::fmt::Display for RecvFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RecvFault::Dead { rank, at } => write!(f, "rank {rank} crashed at t={at}"),
+            RecvFault::Aborted { rank, at } => {
+                write!(f, "rank {rank} aborted the attempt at t={at}")
+            }
+        }
+    }
+}
+
+/// Panic payload used by injected crashes to unwind a rank's thread; the
+/// runtime catches it and records the rank as crashed instead of
+/// propagating the panic.
+pub(crate) struct CrashUnwind {
+    #[allow(dead_code)] // diagnostic field, read by Debug in panic output
+    pub rank: usize,
+    #[allow(dead_code)]
+    pub at: f64,
+}
+
+/// Panic payload for receives that fail because the awaited peer itself
+/// panicked: the runtime suppresses these in favour of the root-cause
+/// panic when both unwound.
+pub(crate) struct SecondaryPanic(pub String);
+
 /// One rank's endpoint: virtual clock, mailboxes to every peer, and
 /// accounting. Obtain [`Scope`]s from it to actually communicate.
 pub struct Comm {
@@ -39,9 +100,28 @@ pub struct Comm {
     clock: f64,
     stats: RankStats,
     trace: Option<Vec<TraceEvent>>,
+    // --- fault layer -----------------------------------------------------
+    plan: Option<Arc<FaultPlan>>,
+    /// Compute slowdown of this rank (1.0 unless it is a straggler).
+    slowdown: f64,
+    /// Pending injected crash, fired when the clock reaches this time.
+    crash_time: Option<f64>,
+    /// Pending injected crash, fired on entering this pass.
+    crash_pass: Option<usize>,
+    /// Per-destination data-message sequence numbers (fault decisions).
+    link_seq: Vec<u64>,
+    /// Current recovery-protocol attempt epoch (abort matching).
+    epoch: u64,
+    /// Peers known to have crashed, with their crash times.
+    dead: HashMap<usize, f64>,
+    /// Peers known to have aborted, with (epoch, abort time).
+    aborted: HashMap<usize, (u64, f64)>,
+    /// Peers whose threads finished (true = by panic).
+    exited: HashMap<usize, bool>,
 }
 
 impl Comm {
+    #[allow(clippy::too_many_arguments)] // internal: called from one place
     pub(crate) fn new(
         rank: usize,
         size: usize,
@@ -50,7 +130,14 @@ impl Comm {
         senders: Vec<Sender<Envelope>>,
         inbox: Receiver<Envelope>,
         tracing: bool,
+        plan: Option<Arc<FaultPlan>>,
     ) -> Self {
+        let slowdown = plan.as_ref().map_or(1.0, |p| p.slowdown_of(rank));
+        let (crash_time, crash_pass) = match plan.as_ref().and_then(|p| p.crash_of(rank)) {
+            Some(crate::fault::CrashPoint::AtTime(t)) => (Some(t), None),
+            Some(crate::fault::CrashPoint::AtPass(k)) => (None, Some(k)),
+            None => (None, None),
+        };
         Comm {
             rank,
             size,
@@ -62,6 +149,15 @@ impl Comm {
             clock: 0.0,
             stats: RankStats::default(),
             trace: tracing.then(Vec::new),
+            plan,
+            slowdown,
+            crash_time,
+            crash_pass,
+            link_seq: vec![0; size],
+            epoch: 0,
+            dead: HashMap::new(),
+            aborted: HashMap::new(),
+            exited: HashMap::new(),
         }
     }
 
@@ -90,9 +186,105 @@ impl Comm {
         self.clock
     }
 
-    /// Charges `seconds` of local computation.
+    /// The fault plan this simulation runs under, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_deref()
+    }
+
+    /// Fires a scheduled [`crate::CrashPoint::AtTime`] crash the moment
+    /// the clock has reached it: the clock is clamped back to the exact
+    /// crash time so the tombstone timestamp is independent of which
+    /// charge crossed it.
+    fn maybe_crash(&mut self) {
+        if let Some(t) = self.crash_time {
+            if self.clock >= t {
+                self.clock = t;
+                self.crash_now();
+            }
+        }
+    }
+
+    /// Crashes this rank now: notify every peer with a tombstone carrying
+    /// the crash time, then unwind the thread with a payload the runtime
+    /// recognizes.
+    fn crash_now(&mut self) -> ! {
+        let at = self.clock;
+        self.crash_time = None;
+        self.crash_pass = None;
+        for peer in 0..self.size {
+            if peer != self.rank {
+                self.send_control(peer, Packet::Tombstone { at });
+            }
+        }
+        std::panic::panic_any(CrashUnwind {
+            rank: self.rank,
+            at,
+        });
+    }
+
+    /// Declares that this rank is entering mining pass `pass` (1-based);
+    /// fires a scheduled [`crate::CrashPoint::AtPass`] crash.
+    pub fn enter_pass(&mut self, pass: usize) {
+        if self.crash_pass == Some(pass) {
+            self.crash_now();
+        }
+    }
+
+    /// Sets the recovery-protocol attempt epoch: abort notifications only
+    /// fail receives whose epoch matches the aborter's.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Records one committed recovery event in this rank's counters.
+    pub fn note_recovery(&mut self) {
+        self.stats.recoveries += 1;
+    }
+
+    /// Notifies `peers` (global ranks) that this rank abandons attempt
+    /// `epoch`; peers blocked on it in the same epoch fail their receives
+    /// and join recovery instead of waiting forever. Out-of-band control
+    /// traffic: free on the virtual clock.
+    pub fn send_abort(&mut self, peers: &[usize], epoch: u64) {
+        let at = self.clock;
+        for &peer in peers {
+            if peer != self.rank {
+                self.send_control(peer, Packet::Abort { epoch, at });
+            }
+        }
+    }
+
+    /// Sends a clean/panicked exit notification to every peer (called by
+    /// the runtime when a rank's closure returns or panics).
+    pub(crate) fn send_goodbyes(&mut self, panicked: bool) {
+        for peer in 0..self.size {
+            if peer != self.rank {
+                self.send_control(peer, Packet::Goodbye { panicked });
+            }
+        }
+    }
+
+    fn send_control(&mut self, dst: usize, packet: Packet) {
+        let env = Envelope {
+            key: MatchKey {
+                scope: u64::MAX,
+                src: self.rank,
+                tag: u64::MAX,
+            },
+            arrival: self.clock,
+            bytes: 0,
+            packet,
+        };
+        self.senders[dst]
+            .send(env)
+            .expect("peer mailbox closed (peer panicked?)");
+    }
+
+    /// Charges `seconds` of local computation, scaled by this rank's
+    /// straggler slowdown factor.
     pub fn advance(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "cannot advance time backwards");
+        let seconds = seconds * self.slowdown;
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent::Compute {
                 start: self.clock,
@@ -101,6 +293,7 @@ impl Comm {
         }
         self.clock += seconds;
         self.stats.busy += seconds;
+        self.maybe_crash();
     }
 
     /// Charges I/O time for (re-)reading `bytes` from the database.
@@ -114,6 +307,7 @@ impl Comm {
         }
         self.clock += t;
         self.stats.io += t;
+        self.maybe_crash();
     }
 
     /// The accumulated accounting (clock, busy, idle, traffic).
@@ -157,6 +351,34 @@ impl Comm {
         payload: Box<dyn Any + Send>,
         bytes: usize,
     ) -> SendHandle {
+        // Fault injection: lost transmission attempts cost the sender a
+        // full setup + wire charge plus an exponential ack-timeout
+        // backoff, all on the virtual clock, before the copy that gets
+        // through. Decisions are a pure function of (seed, link, per-link
+        // sequence number, attempt) — host scheduling never enters.
+        let mut extra_delay = 0.0;
+        if let Some(plan) = self.plan.clone() {
+            if plan.drop_rate > 0.0 || plan.delay_rate > 0.0 {
+                let seq = self.link_seq[dst];
+                self.link_seq[dst] += 1;
+                let mut attempt: u32 = 0;
+                while plan.drop_rate > 0.0
+                    && plan.u01(DECISION_DROP, self.rank, dst, seq, attempt) < plan.drop_rate
+                {
+                    let backoff = plan.rto * (1u64 << attempt.min(16)) as f64;
+                    self.clock += self.machine.t_s + bytes as f64 * self.machine.t_w + backoff;
+                    self.stats.retransmits += 1;
+                    self.maybe_crash();
+                    attempt += 1;
+                    assert!(attempt < 10_000, "retransmit runaway: drop_rate too high");
+                }
+                if plan.delay_rate > 0.0
+                    && plan.u01(DECISION_DELAY, self.rank, dst, seq, attempt) < plan.delay_rate
+                {
+                    extra_delay = plan.delay;
+                }
+            }
+        }
         // Sender CPU overhead: message setup costs host cycles even for
         // non-blocking sends (LogP's `o`); it can never be overlapped.
         self.clock += self.machine.t_s;
@@ -166,12 +388,15 @@ impl Comm {
         // In-flight: per-hop routing latency, plus per-hop bandwidth
         // re-serialization on (partially) store-and-forward networks.
         let hops = self.topology.hops(self.rank, dst, self.size);
-        let arrival = completion
+        let mut arrival = completion
             + hops as f64 * self.machine.t_hop
             + hops.saturating_sub(1) as f64
                 * bytes as f64
                 * self.machine.t_w
                 * self.machine.store_forward;
+        if extra_delay > 0.0 {
+            arrival += extra_delay;
+        }
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes as u64;
         if let Some(trace) = &mut self.trace {
@@ -190,30 +415,109 @@ impl Comm {
             },
             arrival,
             bytes,
-            payload,
+            packet: Packet::Data(payload),
         };
         self.senders[dst]
             .send(env)
             .expect("peer mailbox closed (peer panicked?)");
+        self.maybe_crash();
         SendHandle { completion }
     }
 
-    /// Blocks (the real thread) until a message matching `key` exists,
-    /// buffering non-matching arrivals.
-    fn match_raw(&mut self, key: MatchKey) -> Envelope {
+    /// Records a drained control packet in the peer-status maps. Control
+    /// packets ride the same FIFO channels as data, so by the time one is
+    /// absorbed every message its sender sent beforehand already sits in
+    /// `pending` — which makes "crashed/aborted before sending" exact.
+    fn absorb_control(&mut self, env: Envelope) {
+        let src = env.key.src;
+        match env.packet {
+            Packet::Goodbye { panicked } => {
+                self.exited.insert(src, panicked);
+            }
+            Packet::Tombstone { at } => {
+                self.dead.insert(src, at);
+            }
+            Packet::Abort { epoch, at } => {
+                self.aborted.insert(src, (epoch, at));
+            }
+            Packet::Data(_) => unreachable!("data envelopes are not control packets"),
+        }
+    }
+
+    /// Charges the failure-detector wait for concluding that `src` (which
+    /// crashed at `at`) is dead, and counts the timeout.
+    fn charge_detect(&mut self, src: usize, at: f64) -> RecvFault {
+        let timeout = self.plan.as_ref().map_or(0.0, |p| p.detect_timeout);
+        let target = self.clock.max(at) + timeout;
+        self.stats.idle += target - self.clock;
+        self.clock = target;
+        self.stats.timeouts += 1;
+        self.maybe_crash();
+        RecvFault::Dead { rank: src, at }
+    }
+
+    /// Blocks (the real thread) until a message matching `key` exists, a
+    /// control packet proves it never will, or the peer's exit makes the
+    /// wait a protocol bug.
+    fn match_raw_ft(&mut self, key: MatchKey, honor_aborts: bool) -> Result<Envelope, RecvFault> {
         if let Some(pos) = self.pending.iter().position(|e| e.key == key) {
-            return self.pending.remove(pos).unwrap();
+            return Ok(self.pending.remove(pos).unwrap());
         }
         loop {
+            // The awaited sender's fate, checked only after any message it
+            // sent beforehand has been drained into `pending` (FIFO).
+            if let Some(&at) = self.dead.get(&key.src) {
+                return Err(self.charge_detect(key.src, at));
+            }
+            if honor_aborts {
+                if let Some(&(epoch, at)) = self.aborted.get(&key.src) {
+                    if epoch == self.epoch {
+                        if at > self.clock {
+                            self.stats.idle += at - self.clock;
+                            self.clock = at;
+                            self.maybe_crash();
+                        }
+                        return Err(RecvFault::Aborted { rank: key.src, at });
+                    }
+                }
+            }
+            if let Some(&panicked) = self.exited.get(&key.src) {
+                if panicked {
+                    std::panic::panic_any(SecondaryPanic(format!(
+                        "rank {} cannot complete a receive from rank {} (scope {}, tag {:#x}): \
+                         that rank panicked",
+                        self.rank, key.src, key.scope, key.tag
+                    )));
+                }
+                panic!(
+                    "receive will never complete: sender rank {} exited without sending \
+                     to receiver rank {} (scope {}, tag {:#x})",
+                    key.src, self.rank, key.scope, key.tag
+                );
+            }
             let env = self
                 .inbox
                 .recv()
                 .expect("all peers disconnected while a receive was pending");
-            if env.key == key {
-                return env;
+            if env.is_data() {
+                if env.key == key {
+                    return Ok(env);
+                }
+                self.pending.push_back(env);
+            } else {
+                self.absorb_control(env);
             }
-            self.pending.push_back(env);
         }
+    }
+
+    fn match_raw(&mut self, key: MatchKey) -> Envelope {
+        self.match_raw_ft(key, false).unwrap_or_else(|fault| {
+            panic!(
+                "receive on rank {} (scope {}, tag {:#x}) failed: {fault} — \
+                 fault-tolerant callers must use the try_* receive variants",
+                self.rank, key.scope, key.tag
+            )
+        })
     }
 
     fn complete_recv(&mut self, env: &Envelope) {
@@ -238,6 +542,7 @@ impl Comm {
                 bytes: env.bytes,
             });
         }
+        self.maybe_crash();
     }
 }
 
@@ -328,6 +633,7 @@ impl<'a> Scope<'a> {
     pub fn wait_send(&mut self, handle: SendHandle) {
         if handle.completion > self.comm.clock {
             self.comm.clock = handle.completion;
+            self.comm.maybe_crash();
         }
     }
 
@@ -342,21 +648,30 @@ impl<'a> Scope<'a> {
         }
     }
 
+    fn unpack<T: Send + 'static>(key: MatchKey, env: Envelope) -> T {
+        let Packet::Data(payload) = env.packet else {
+            unreachable!("matched envelopes carry data")
+        };
+        *payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "type mismatch receiving {:?}: expected {}",
+                key,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
     /// Completes a posted receive: blocks until the message exists,
     /// advances the clock to its arrival (idle time), charges unload.
     ///
     /// # Panics
-    /// If the payload type does not match `T` (a protocol bug).
+    /// If the payload type does not match `T` (a protocol bug), or if the
+    /// awaited peer crashed, exited, or aborted (fault-tolerant callers
+    /// use [`Scope::try_wait_recv`]).
     pub fn wait_recv<T: Send + 'static>(&mut self, handle: RecvHandle) -> T {
         let env = self.comm.match_raw(handle.key);
         self.comm.complete_recv(&env);
-        *env.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "type mismatch receiving {:?}: expected {}",
-                handle.key,
-                std::any::type_name::<T>()
-            )
-        })
+        Self::unpack(handle.key, env)
     }
 
     /// Blocking receive.
@@ -365,15 +680,62 @@ impl<'a> Scope<'a> {
         self.wait_recv(h)
     }
 
+    /// Fault-aware completion of a posted receive: fails (after charging
+    /// the failure-detector wait) if the awaited sender crashed, or
+    /// aborted the current attempt epoch, before sending.
+    ///
+    /// # Panics
+    /// On payload type mismatch, or if the peer exited without either
+    /// sending or crashing (a protocol bug, not an injected fault).
+    pub fn try_wait_recv<T: Send + 'static>(&mut self, handle: RecvHandle) -> Result<T, RecvFault> {
+        let env = self.comm.match_raw_ft(handle.key, true)?;
+        self.comm.complete_recv(&env);
+        Ok(Self::unpack(handle.key, env))
+    }
+
+    /// Fault-aware blocking receive (see [`Scope::try_wait_recv`]).
+    pub fn try_recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Result<T, RecvFault> {
+        let h = self.irecv(from, tag);
+        self.try_wait_recv(h)
+    }
+
+    /// Like [`Scope::try_recv`] but ignores abort notifications: only a
+    /// peer *crash* fails the receive. Recovery protocols use this for
+    /// their membership-sync rounds, which aborting peers still
+    /// participate in.
+    pub fn try_recv_sync<T: Send + 'static>(
+        &mut self,
+        from: usize,
+        tag: u64,
+    ) -> Result<T, RecvFault> {
+        let h = self.irecv(from, tag);
+        let env = self.comm.match_raw_ft(h.key, false)?;
+        self.comm.complete_recv(&env);
+        Ok(Self::unpack(h.key, env))
+    }
+
     /// Global sum of a `u64` vector across the scope, in place, on every
     /// member — CD's "global reduction operation". Implemented as a ring
     /// reduce-scatter followed by a ring all-gather: `2(P−1)` messages of
     /// `M/P` entries each, i.e. `O(M)` total bytes per rank, matching the
     /// `O(M)` reduction term of Equation 4.
+    ///
+    /// # Panics
+    /// If a member crashes or aborts mid-collective (fault-tolerant
+    /// callers use [`Scope::try_allreduce_sum_u64`]).
     pub fn allreduce_sum_u64(&mut self, v: &mut [u64]) {
+        if let Err(fault) = self.try_allreduce_sum_u64(v) {
+            panic!("allreduce failed: {fault}");
+        }
+    }
+
+    /// Fault-aware [`Scope::allreduce_sum_u64`]: fails when a ring
+    /// neighbour crashes or aborts mid-collective. The vector is left in
+    /// an unspecified (but deterministic) partial state on failure.
+    pub fn try_allreduce_sum_u64(&mut self, v: &mut [u64]) -> Result<(), RecvFault> {
         let p = self.members.len();
         if p == 1 || v.is_empty() {
-            return;
+            return Ok(());
         }
         let n = v.len();
         let chunk_bounds = move |i: usize| -> (usize, usize) { (i * n / p, (i + 1) * n / p) };
@@ -387,7 +749,7 @@ impl<'a> Scope<'a> {
             let (slo, shi) = chunk_bounds(send_idx);
             let chunk: Vec<u64> = v[slo..shi].to_vec();
             let sh = self.isend(right, COLLECTIVE_TAG | s as u64, chunk, (shi - slo) * 8);
-            let incoming: Vec<u64> = self.recv(left, COLLECTIVE_TAG | s as u64);
+            let incoming: Vec<u64> = self.try_recv(left, COLLECTIVE_TAG | s as u64)?;
             self.wait_send(sh);
             let (rlo, rhi) = chunk_bounds(recv_idx);
             debug_assert_eq!(incoming.len(), rhi - rlo);
@@ -403,19 +765,37 @@ impl<'a> Scope<'a> {
             let chunk: Vec<u64> = v[slo..shi].to_vec();
             let tag = COLLECTIVE_TAG | (1 << 32) | s as u64;
             let sh = self.isend(right, tag, chunk, (shi - slo) * 8);
-            let incoming: Vec<u64> = self.recv(left, tag);
+            let incoming: Vec<u64> = self.try_recv(left, tag)?;
             self.wait_send(sh);
             let (rlo, rhi) = chunk_bounds(recv_idx);
             debug_assert_eq!(incoming.len(), rhi - rlo);
             v[rlo..rhi].copy_from_slice(&incoming);
         }
+        Ok(())
     }
 
     /// All-to-all broadcast: every member contributes `value` and receives
     /// everyone's, ordered by local rank — the primitive DD and IDD use to
     /// exchange per-partition frequent itemsets. Ring algorithm: `P−1`
     /// store-and-forward steps.
+    ///
+    /// # Panics
+    /// If a member crashes or aborts mid-collective (fault-tolerant
+    /// callers use [`Scope::try_allgather`]).
     pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T, bytes: usize) -> Vec<T> {
+        match self.try_allgather(value, bytes) {
+            Ok(all) => all,
+            Err(fault) => panic!("allgather failed: {fault}"),
+        }
+    }
+
+    /// Fault-aware [`Scope::allgather`]: fails when a ring neighbour
+    /// crashes or aborts mid-collective.
+    pub fn try_allgather<T: Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        bytes: usize,
+    ) -> Result<Vec<T>, RecvFault> {
         let p = self.members.len();
         let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
         out[self.my_index] = Some(value.clone());
@@ -424,12 +804,12 @@ impl<'a> Scope<'a> {
         for s in 0..p - 1 {
             let tag = COLLECTIVE_TAG | (2 << 32) | s as u64;
             let sh = self.isend(right, tag, current, bytes);
-            current = self.recv(left, tag);
+            current = self.try_recv(left, tag)?;
             self.wait_send(sh);
             let origin = (self.my_index + p - 1 - s) % p;
             out[origin] = Some(current.clone());
         }
-        out.into_iter().map(Option::unwrap).collect()
+        Ok(out.into_iter().map(Option::unwrap).collect())
     }
 
     /// Synchronizes all members: no rank proceeds (in virtual time) much

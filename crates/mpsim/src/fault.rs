@@ -1,0 +1,391 @@
+//! Deterministic fault plans: seed-reproducible message loss and delay,
+//! per-rank slowdown (stragglers), and rank crashes.
+//!
+//! A [`FaultPlan`] is pure data. Every fault decision the simulator makes
+//! is a deterministic function of `(plan seed, sender, receiver, per-link
+//! message sequence number, attempt)` — never of host scheduling — so the
+//! same plan on the same workload reproduces bit-identical virtual clocks
+//! and fault counters on every run.
+//!
+//! Plans can be built programmatically or loaded from a small line-based
+//! text file (no external parser dependencies):
+//!
+//! ```text
+//! # straggler + crash scenario
+//! seed = 42
+//! drop_rate = 0.05
+//! rto = 0.0001
+//! detect_timeout = 0.001
+//! slowdown 3 = 2.0
+//! crash 5 = time:0.004
+//! crash 2 = pass:3
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::str::FromStr;
+
+/// When a rank crashes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrashPoint {
+    /// Crash the first time the rank's virtual clock reaches this time.
+    AtTime(f64),
+    /// Crash when the rank enters this mining pass (1-based, as reported
+    /// to [`crate::Comm::enter_pass`]).
+    AtPass(usize),
+}
+
+/// A deterministic, seed-reproducible fault scenario.
+///
+/// The plan is shared read-only by every rank of a simulation; see the
+/// module docs for the determinism contract and the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every per-message fault decision.
+    pub seed: u64,
+    /// Probability that any single transmission attempt of a data message
+    /// is lost (triggering ack-timeout + retransmit at the sender).
+    pub drop_rate: f64,
+    /// Probability that a delivered message suffers an extra in-flight
+    /// delay of [`FaultPlan::delay`] seconds.
+    pub delay_rate: f64,
+    /// Extra in-flight latency (seconds) applied to delayed messages.
+    pub delay: f64,
+    /// Base retransmission timeout (seconds). Attempt `a` of a message
+    /// waits `rto · 2^a` before retransmitting (exponential backoff).
+    pub rto: f64,
+    /// Virtual time a rank spends concluding that a peer is dead after
+    /// its tombstone arrives (the simulated failure-detector timeout).
+    pub detect_timeout: f64,
+    slowdowns: BTreeMap<usize, f64>,
+    crashes: BTreeMap<usize, CrashPoint>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            delay: 0.0,
+            rto: 1e-4,
+            detect_timeout: 1e-3,
+            slowdowns: BTreeMap::new(),
+            crashes: BTreeMap::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a builder seed).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the decision seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-attempt message loss probability.
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the probability and size of extra in-flight delays.
+    pub fn delays(mut self, rate: f64, seconds: f64) -> Self {
+        self.delay_rate = rate;
+        self.delay = seconds;
+        self
+    }
+
+    /// Sets the base retransmission timeout.
+    pub fn rto(mut self, seconds: f64) -> Self {
+        self.rto = seconds;
+        self
+    }
+
+    /// Sets the failure-detector timeout.
+    pub fn detect_timeout(mut self, seconds: f64) -> Self {
+        self.detect_timeout = seconds;
+        self
+    }
+
+    /// Makes `rank` a straggler: all its compute charges are multiplied
+    /// by `factor` (≥ 1).
+    pub fn slowdown(mut self, rank: usize, factor: f64) -> Self {
+        self.slowdowns.insert(rank, factor);
+        self
+    }
+
+    /// Schedules `rank` to crash at the given point.
+    pub fn crash(mut self, rank: usize, point: CrashPoint) -> Self {
+        self.crashes.insert(rank, point);
+        self
+    }
+
+    /// The compute slowdown factor of `rank` (1.0 when not a straggler).
+    pub fn slowdown_of(&self, rank: usize) -> f64 {
+        self.slowdowns.get(&rank).copied().unwrap_or(1.0)
+    }
+
+    /// The scheduled crash of `rank`, if any.
+    pub fn crash_of(&self, rank: usize) -> Option<CrashPoint> {
+        self.crashes.get(&rank).copied()
+    }
+
+    /// Whether the plan crashes any rank at all. Crash-free plans (drops,
+    /// delays, stragglers) are transparent to algorithms: no recovery
+    /// protocol runs.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// The ranks scheduled to crash, ascending.
+    pub fn crashed_ranks(&self) -> Vec<usize> {
+        self.crashes.keys().copied().collect()
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_fault_free(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.slowdowns.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Checks the plan's parameters; returns a human-readable complaint
+    /// for out-of-range values.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=0.95).contains(&self.drop_rate) {
+            return Err(format!(
+                "drop_rate must be in [0, 0.95], got {}",
+                self.drop_rate
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.delay_rate) {
+            return Err(format!(
+                "delay_rate must be in [0, 1], got {}",
+                self.delay_rate
+            ));
+        }
+        if self.delay < 0.0 {
+            return Err(format!("delay must be non-negative, got {}", self.delay));
+        }
+        if self.drop_rate > 0.0 && self.rto <= 0.0 {
+            return Err(format!(
+                "rto must be positive when drop_rate > 0, got {}",
+                self.rto
+            ));
+        }
+        if self.detect_timeout < 0.0 {
+            return Err(format!(
+                "detect_timeout must be non-negative, got {}",
+                self.detect_timeout
+            ));
+        }
+        for (&rank, &factor) in &self.slowdowns {
+            if factor < 1.0 || !factor.is_finite() {
+                return Err(format!(
+                    "slowdown factor for rank {rank} must be finite and >= 1, got {factor}"
+                ));
+            }
+        }
+        for (&rank, &point) in &self.crashes {
+            match point {
+                CrashPoint::AtTime(t) if t.is_nan() || t < 0.0 => {
+                    return Err(format!(
+                        "crash time for rank {rank} must be non-negative, got {t}"
+                    ));
+                }
+                CrashPoint::AtPass(0) => {
+                    return Err(format!("crash pass for rank {rank} must be >= 1"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// A deterministic uniform variate in `[0, 1)` for fault decision
+    /// `decision` of attempt `attempt` of the `seq`-th message on the
+    /// `src → dst` link.
+    pub(crate) fn u01(&self, decision: u64, src: usize, dst: usize, seq: u64, attempt: u32) -> f64 {
+        let mut x = self.seed;
+        for word in [decision, src as u64, dst as u64, seq, u64::from(attempt)] {
+            x = splitmix64(x ^ word.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        // 53 high bits → f64 in [0, 1).
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Loads a plan from the text format (see module docs).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("cannot read fault plan {}: {e}", path.as_ref().display()))?;
+        text.parse()
+    }
+}
+
+/// Decision-kind discriminators mixed into [`FaultPlan::u01`].
+pub(crate) const DECISION_DROP: u64 = 1;
+pub(crate) const DECISION_DELAY: u64 = 2;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "seed = {}", self.seed)?;
+        writeln!(f, "drop_rate = {}", self.drop_rate)?;
+        writeln!(f, "delay_rate = {}", self.delay_rate)?;
+        writeln!(f, "delay = {}", self.delay)?;
+        writeln!(f, "rto = {}", self.rto)?;
+        writeln!(f, "detect_timeout = {}", self.detect_timeout)?;
+        for (rank, factor) in &self.slowdowns {
+            writeln!(f, "slowdown {rank} = {factor}")?;
+        }
+        for (rank, point) in &self.crashes {
+            match point {
+                CrashPoint::AtTime(t) => writeln!(f, "crash {rank} = time:{t}")?,
+                CrashPoint::AtPass(k) => writeln!(f, "crash {rank} = pass:{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::default();
+        for (lineno, raw) in s.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (lhs, rhs) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (lhs, rhs) = (lhs.trim(), rhs.trim());
+            let mut lhs_words = lhs.split_whitespace();
+            let key = lhs_words.next().unwrap_or("");
+            let arg = lhs_words.next();
+            let bad = |what: &str| format!("line {}: invalid {what} `{rhs}`", lineno + 1);
+            match (key, arg) {
+                ("seed", None) => plan.seed = rhs.parse().map_err(|_| bad("seed"))?,
+                ("drop_rate", None) => plan.drop_rate = rhs.parse().map_err(|_| bad("rate"))?,
+                ("delay_rate", None) => plan.delay_rate = rhs.parse().map_err(|_| bad("rate"))?,
+                ("delay", None) => plan.delay = rhs.parse().map_err(|_| bad("delay"))?,
+                ("rto", None) => plan.rto = rhs.parse().map_err(|_| bad("rto"))?,
+                ("detect_timeout", None) => {
+                    plan.detect_timeout = rhs.parse().map_err(|_| bad("timeout"))?
+                }
+                ("slowdown", Some(rank)) => {
+                    let rank: usize = rank
+                        .parse()
+                        .map_err(|_| format!("line {}: invalid rank `{rank}`", lineno + 1))?;
+                    plan.slowdowns
+                        .insert(rank, rhs.parse().map_err(|_| bad("factor"))?);
+                }
+                ("crash", Some(rank)) => {
+                    let rank: usize = rank
+                        .parse()
+                        .map_err(|_| format!("line {}: invalid rank `{rank}`", lineno + 1))?;
+                    let point = if let Some(t) = rhs.strip_prefix("time:") {
+                        CrashPoint::AtTime(t.trim().parse().map_err(|_| bad("crash time"))?)
+                    } else if let Some(k) = rhs.strip_prefix("pass:") {
+                        CrashPoint::AtPass(k.trim().parse().map_err(|_| bad("crash pass"))?)
+                    } else {
+                        return Err(format!(
+                            "line {}: crash point must be `time:<seconds>` or `pass:<k>`",
+                            lineno + 1
+                        ));
+                    };
+                    plan.crashes.insert(rank, point);
+                }
+                _ => {
+                    return Err(format!("line {}: unknown key `{lhs}`", lineno + 1));
+                }
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_format_round_trips() {
+        let plan = FaultPlan::new()
+            .seed(42)
+            .drop_rate(0.05)
+            .delays(0.1, 0.002)
+            .rto(1e-4)
+            .detect_timeout(1e-3)
+            .slowdown(3, 2.0)
+            .crash(5, CrashPoint::AtTime(0.004))
+            .crash(2, CrashPoint::AtPass(3));
+        let text = plan.to_string();
+        let parsed: FaultPlan = text.parse().expect("round trip");
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let plan: FaultPlan = "# a comment\n\nseed = 7 # trailing\ndrop_rate = 0.1\n"
+            .parse()
+            .expect("parses");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.drop_rate, 0.1);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert!("drop_rate = 1.5".parse::<FaultPlan>().is_err());
+        assert!("slowdown 1 = 0.5".parse::<FaultPlan>().is_err());
+        assert!("crash 1 = noon".parse::<FaultPlan>().is_err());
+        assert!("frobnicate = 1".parse::<FaultPlan>().is_err());
+        assert!("drop_rate = 0.1\nrto = 0".parse::<FaultPlan>().is_err());
+        assert!("crash 1 = pass:0".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn u01_is_deterministic_and_uniform_ish() {
+        let plan = FaultPlan::new().seed(9);
+        let a = plan.u01(DECISION_DROP, 0, 1, 7, 0);
+        let b = plan.u01(DECISION_DROP, 0, 1, 7, 0);
+        assert_eq!(a.to_bits(), b.to_bits());
+        // Different coordinates decorrelate.
+        let c = plan.u01(DECISION_DROP, 0, 1, 7, 1);
+        assert_ne!(a.to_bits(), c.to_bits());
+        // Crude uniformity: mean of many draws near 0.5.
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|i| plan.u01(DECISION_DROP, 1, 2, i, 0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn defaults_are_fault_free() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_fault_free());
+        assert!(!plan.has_crashes());
+        assert_eq!(plan.slowdown_of(3), 1.0);
+        assert!(plan.validate().is_ok());
+    }
+}

@@ -41,7 +41,18 @@
 //! assert!(result.response_time() > 0.0, "communication takes virtual time");
 //! ```
 
+//! ## Fault injection
+//!
+//! A [`FaultPlan`] makes the simulated machine unreliable — deterministic
+//! message loss with retransmit/backoff charged to the virtual clock,
+//! per-rank compute slowdowns (stragglers), and rank crashes surfaced to
+//! peers as failed receives ([`RecvFault`]) rather than hangs. Crashing
+//! plans run through [`Simulator::run_with_faults`]; every fault decision
+//! is a pure function of the plan seed and virtual state, so the same
+//! plan reproduces bit-identical clocks and fault counters.
+
 mod comm;
+mod fault;
 mod machine;
 mod message;
 mod runtime;
@@ -49,7 +60,8 @@ mod stats;
 mod topology;
 mod trace;
 
-pub use comm::{Comm, RecvHandle, Scope, SendHandle};
+pub use comm::{Comm, RecvFault, RecvHandle, Scope, SendHandle};
+pub use fault::{CrashPoint, FaultPlan};
 pub use machine::MachineProfile;
 pub use runtime::{SimResult, Simulator};
 pub use stats::RankStats;

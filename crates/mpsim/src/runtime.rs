@@ -1,12 +1,15 @@
 //! Spawning and collecting a simulation.
 
-use crate::comm::Comm;
+use crate::comm::{Comm, CrashUnwind, SecondaryPanic};
+use crate::fault::FaultPlan;
 use crate::machine::MachineProfile;
 use crate::message::Envelope;
 use crate::stats::{imbalance, RankStats};
 use crate::topology::Topology;
 use crate::trace::TraceEvent;
 use crossbeam::channel::unbounded;
+use std::any::Any;
+use std::sync::{Arc, Once};
 
 /// Configuration and entry point of a simulated machine.
 #[derive(Debug, Clone)]
@@ -15,6 +18,25 @@ pub struct Simulator {
     machine: MachineProfile,
     topology: Topology,
     tracing: bool,
+    plan: Option<Arc<FaultPlan>>,
+}
+
+/// Injected crashes and their secondary effects unwind rank threads with
+/// marker payloads; the default panic hook would print a backtrace for
+/// each, flooding stderr on fault-heavy runs. Install (once) a hook that
+/// stays silent for those markers and defers to the previous hook for
+/// real panics.
+fn silence_fault_unwinds() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if !payload.is::<CrashUnwind>() && !payload.is::<SecondaryPanic>() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 impl Simulator {
@@ -30,7 +52,21 @@ impl Simulator {
             machine: MachineProfile::cray_t3e(),
             topology: Topology::torus_for(procs),
             tracing: false,
+            plan: None,
         }
+    }
+
+    /// Runs the simulation under a deterministic fault plan (message
+    /// drops/delays, stragglers, crashes). Plans that crash ranks require
+    /// [`Simulator::run_with_faults`].
+    ///
+    /// # Panics
+    /// If the plan's parameters are out of range.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        plan.validate()
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+        self.plan = Some(Arc::new(plan));
+        self
     }
 
     /// Enables per-rank event tracing; the recorded timelines land in
@@ -63,17 +99,52 @@ impl Simulator {
     /// rank's index.
     ///
     /// # Panics
-    /// Propagates any rank's panic.
+    /// Propagates any rank's panic. Also panics if the configured fault
+    /// plan can crash ranks — crash-tolerant callers must use
+    /// [`Simulator::run_with_faults`], which reports crashed ranks as
+    /// `None` instead.
     pub fn run<T, F>(&self, f: F) -> SimResult<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
+        if let Some(plan) = &self.plan {
+            assert!(
+                !plan.has_crashes(),
+                "the fault plan crashes ranks: use run_with_faults"
+            );
+        }
+        let r = self.run_with_faults(f);
+        SimResult {
+            results: r
+                .results
+                .into_iter()
+                .map(|v| v.expect("no rank can crash without a crashing fault plan"))
+                .collect(),
+            ranks: r.ranks,
+            traces: r.traces,
+        }
+    }
+
+    /// Like [`Simulator::run`], but tolerates injected rank crashes: a
+    /// crashed rank's result slot is `None` (its [`RankStats`] still
+    /// reflect the time up to the crash). Non-injected panics (bugs in
+    /// `f`) still propagate, preferring the root-cause panic over
+    /// secondary receive failures it triggered on other ranks.
+    pub fn run_with_faults<T, F>(&self, f: F) -> SimResult<Option<T>>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        silence_fault_unwinds();
         let p = self.procs;
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..p).map(|_| unbounded::<Envelope>()).unzip();
-        type RankResult<T> = (T, RankStats, Vec<TraceEvent>);
+        type RankResult<T> = (Option<T>, RankStats, Vec<TraceEvent>);
+        type RankOutcome<T> = Result<RankResult<T>, Box<dyn Any + Send>>;
         let mut outputs: Vec<Option<RankResult<T>>> = (0..p).map(|_| None).collect();
+        let mut primary_panic: Option<Box<dyn Any + Send>> = None;
+        let mut secondary_panic: Option<Box<dyn Any + Send>> = None;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (rank, inbox) in receivers.into_iter().enumerate() {
@@ -82,20 +153,53 @@ impl Simulator {
                 let machine = self.machine;
                 let topology = self.topology;
                 let tracing = self.tracing;
-                handles.push(scope.spawn(move || {
-                    let mut comm = Comm::new(rank, p, machine, topology, senders, inbox, tracing);
-                    let value = f(&mut comm);
-                    let stats = comm.stats();
-                    (value, stats, comm.take_trace())
+                let plan = self.plan.clone();
+                handles.push(scope.spawn(move || -> RankOutcome<T> {
+                    let mut comm =
+                        Comm::new(rank, p, machine, topology, senders, inbox, tracing, plan);
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm))) {
+                        Ok(value) => {
+                            // Tell peers this rank is done: a receive still
+                            // pending on it is a protocol bug that should
+                            // panic loudly, not hang.
+                            comm.send_goodbyes(false);
+                            Ok((Some(value), comm.stats(), comm.take_trace()))
+                        }
+                        Err(payload) if payload.is::<CrashUnwind>() => {
+                            // Injected crash: tombstones were already sent
+                            // at the moment of death.
+                            Ok((None, comm.stats(), comm.take_trace()))
+                        }
+                        Err(payload) => {
+                            comm.send_goodbyes(true);
+                            Err(payload)
+                        }
+                    }
                 }));
             }
             for (rank, handle) in handles.into_iter().enumerate() {
                 match handle.join() {
-                    Ok(triple) => outputs[rank] = Some(triple),
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    Ok(Ok(triple)) => outputs[rank] = Some(triple),
+                    Ok(Err(payload)) | Err(payload) => {
+                        // Prefer the root-cause panic over the secondary
+                        // receive failures it triggered elsewhere.
+                        if payload.is::<SecondaryPanic>() {
+                            secondary_panic.get_or_insert(payload);
+                        } else {
+                            primary_panic.get_or_insert(payload);
+                        }
+                    }
                 }
             }
         });
+        if let Some(payload) = primary_panic.or(secondary_panic) {
+            // A surviving secondary marker (no primary found) re-panics
+            // with its diagnostic string so test harnesses can match it.
+            match payload.downcast::<SecondaryPanic>() {
+                Ok(sp) => panic!("{}", sp.0),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
         let mut results = Vec::with_capacity(p);
         let mut ranks = Vec::with_capacity(p);
         let mut traces = Vec::with_capacity(p);
@@ -678,5 +782,216 @@ mod tests {
             v[0]
         });
         assert!(r.results.iter().all(|&x| x == 128));
+    }
+
+    // --- fault injection -------------------------------------------------
+
+    use crate::{CrashPoint, FaultPlan, RecvFault};
+
+    #[test]
+    fn dropped_messages_are_retransmitted_and_charged() {
+        let workload = |comm: &mut Comm| {
+            let mut w = comm.world();
+            if w.rank() == 0 {
+                for i in 0..200u64 {
+                    w.send(1, i, i, 64);
+                }
+            } else {
+                for i in 0..200u64 {
+                    let got: u64 = w.recv(0, i);
+                    assert_eq!(got, i);
+                }
+            }
+            w.comm().clock()
+        };
+        let clean = t3e(2).run(workload);
+        let faulty = t3e(2)
+            .fault_plan(FaultPlan::new().seed(3).drop_rate(0.3).rto(1e-5))
+            .run(workload);
+        // Every message still arrives intact, but lost copies cost the
+        // sender retransmits and virtual time.
+        assert!(
+            faulty.ranks[0].retransmits > 10,
+            "drop rate 0.3 over 200 sends"
+        );
+        assert!(faulty.response_time() > clean.response_time());
+        // Only delivered copies count as traffic.
+        assert_eq!(faulty.ranks[0].messages_sent, clean.ranks[0].messages_sent);
+    }
+
+    #[test]
+    fn fault_decisions_are_bit_deterministic() {
+        let run_once = || {
+            t3e(4)
+                .fault_plan(
+                    FaultPlan::new()
+                        .seed(11)
+                        .drop_rate(0.2)
+                        .delays(0.1, 5e-4)
+                        .rto(1e-5)
+                        .slowdown(2, 3.0),
+                )
+                .run(|comm| {
+                    comm.advance(1e-4);
+                    let mut v = vec![comm.rank() as u64; 500];
+                    let mut w = comm.world();
+                    w.allreduce_sum_u64(&mut v);
+                    w.allgather(v[0], 8)
+                })
+        };
+        let a = run_once();
+        let b = run_once();
+        for (x, y) in a.ranks.iter().zip(&b.ranks) {
+            assert_eq!(x.clock.to_bits(), y.clock.to_bits());
+            assert_eq!(x.idle.to_bits(), y.idle.to_bits());
+            assert_eq!(x.retransmits, y.retransmits);
+        }
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn stragglers_scale_compute_charges() {
+        let r = t3e(2)
+            .fault_plan(FaultPlan::new().slowdown(1, 2.0))
+            .run(|comm| {
+                comm.advance(0.25);
+                comm.clock()
+            });
+        assert!((r.ranks[0].busy - 0.25).abs() < 1e-12);
+        assert!((r.ranks[1].busy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_surfaces_as_recv_fault_not_a_hang() {
+        let crash_at = 1e-3;
+        let r = t3e(2)
+            .fault_plan(FaultPlan::new().crash(1, CrashPoint::AtTime(crash_at)))
+            .run_with_faults(move |comm| {
+                if comm.rank() == 1 {
+                    comm.advance(1.0); // crosses the crash time
+                    unreachable!("rank 1 must crash mid-advance");
+                }
+                comm.world().try_recv::<u64>(1, 5)
+            });
+        assert!(r.results[1].is_none(), "crashed rank yields no result");
+        let fault = r.results[0].unwrap().unwrap_err();
+        assert_eq!(
+            fault,
+            RecvFault::Dead {
+                rank: 1,
+                at: crash_at
+            }
+        );
+        assert_eq!(r.ranks[0].timeouts, 1);
+        // Crash time is exact despite being crossed mid-charge.
+        assert_eq!(r.ranks[1].clock.to_bits(), crash_at.to_bits());
+    }
+
+    #[test]
+    fn messages_sent_before_a_crash_still_arrive() {
+        let r = t3e(2)
+            .fault_plan(FaultPlan::new().crash(1, CrashPoint::AtTime(1e-3)))
+            .run_with_faults(|comm| {
+                if comm.rank() == 1 {
+                    comm.world().send(0, 3, 99u64, 8);
+                    comm.advance(1.0);
+                    unreachable!();
+                }
+                let mut w = comm.world();
+                let first: Result<u64, RecvFault> = w.try_recv(1, 3);
+                let second: Result<u64, RecvFault> = w.try_recv(1, 4);
+                (first, second)
+            });
+        let (first, second) = r.results[0].unwrap();
+        assert_eq!(first, Ok(99), "pre-crash message must be delivered");
+        assert!(matches!(second, Err(RecvFault::Dead { rank: 1, .. })));
+    }
+
+    #[test]
+    fn pass_boundary_crash_fires_on_enter_pass() {
+        let r = t3e(2)
+            .fault_plan(FaultPlan::new().crash(0, CrashPoint::AtPass(2)))
+            .run_with_faults(|comm| {
+                comm.enter_pass(1);
+                comm.advance(1e-4);
+                comm.enter_pass(2);
+                comm.advance(1e-4);
+                comm.rank()
+            });
+        assert!(r.results[0].is_none());
+        assert_eq!(r.results[1], Some(1));
+    }
+
+    #[test]
+    fn abort_notifications_fail_same_epoch_receives_only() {
+        let r = t3e(2)
+            .fault_plan(FaultPlan::new().crash(0, CrashPoint::AtPass(999)))
+            .run_with_faults(|comm| {
+                if comm.rank() == 0 {
+                    comm.send_abort(&[1], 0);
+                    comm.world().send(1, 10, 42u64, 8);
+                    return (Err(RecvFault::Aborted { rank: 0, at: 0.0 }), Ok(0));
+                }
+                let aborted: Result<u64, RecvFault> = comm.world().try_recv(0, 9);
+                // Sync receives ignore aborts: the data on tag 10 arrives.
+                let sync: Result<u64, RecvFault> = comm.world().try_recv_sync(0, 10);
+                (aborted, sync)
+            });
+        let (aborted, sync) = r.results[1].unwrap();
+        assert!(matches!(aborted, Err(RecvFault::Aborted { rank: 0, .. })));
+        assert_eq!(sync, Ok(42));
+    }
+
+    #[test]
+    fn all_ranks_crashing_returns_all_none() {
+        let r = t3e(3)
+            .fault_plan(
+                FaultPlan::new()
+                    .crash(0, CrashPoint::AtTime(1e-4))
+                    .crash(1, CrashPoint::AtTime(2e-4))
+                    .crash(2, CrashPoint::AtTime(5e-4)),
+            )
+            .run_with_faults(|comm| {
+                comm.advance(1.0);
+                comm.rank()
+            });
+        assert!(r.results.iter().all(Option::is_none));
+    }
+
+    #[test]
+    #[should_panic(expected = "exited without sending")]
+    fn receive_from_exited_peer_panics_with_diagnostic() {
+        ideal(2).run(|comm| {
+            if comm.rank() == 1 {
+                // Rank 0 finishes without ever sending: this must be a
+                // loud protocol-bug panic naming both ranks and the tag,
+                // not a silent hang.
+                let _: u64 = comm.world().recv(0, 3);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "use run_with_faults")]
+    fn run_rejects_crashing_plans() {
+        t3e(2)
+            .fault_plan(FaultPlan::new().crash(0, CrashPoint::AtTime(1.0)))
+            .run(|comm| comm.rank());
+    }
+
+    #[test]
+    fn fault_free_plans_change_nothing() {
+        let workload = |comm: &mut Comm| {
+            let mut v = vec![comm.rank() as u64; 100];
+            comm.world().allreduce_sum_u64(&mut v);
+            comm.clock()
+        };
+        let bare = t3e(4).run(workload);
+        let planned = t3e(4).fault_plan(FaultPlan::new().seed(5)).run(workload);
+        for (a, b) in bare.ranks.iter().zip(&planned.ranks) {
+            assert_eq!(a.clock.to_bits(), b.clock.to_bits());
+            assert_eq!(a.retransmits, 0);
+            assert_eq!(b.retransmits, 0);
+        }
     }
 }

@@ -19,6 +19,15 @@ pub struct RankStats {
     pub messages_received: u64,
     /// Bytes received.
     pub bytes_received: u64,
+    /// Transmission attempts lost to injected faults and re-sent after an
+    /// ack-timeout backoff (0 in fault-free runs).
+    pub retransmits: u64,
+    /// Failure-detector timeouts: receives that concluded the awaited
+    /// peer was dead.
+    pub timeouts: u64,
+    /// Recovery events this rank committed (memberships shrunk and work
+    /// redistributed after a peer crash).
+    pub recoveries: u64,
 }
 
 impl RankStats {

@@ -13,7 +13,7 @@ use crate::common::{build_tree_charged, count_batch_charged, PassResult, RankCtx
 use crate::config::ParallelParams;
 use armine_core::hashtree::TreeStats;
 use armine_core::ItemSet;
-use armine_mpsim::Comm;
+use armine_mpsim::{Comm, RecvFault};
 
 /// One CD counting pass.
 pub(crate) fn count_pass(
@@ -22,8 +22,8 @@ pub(crate) fn count_pass(
     k: usize,
     candidates: Vec<ItemSet>,
     params: &ParallelParams,
-) -> PassResult {
-    let p = comm.size();
+) -> Result<PassResult, RecvFault> {
+    let p = ctx.size();
     let total = candidates.len();
     let cap = params.memory_capacity.unwrap_or(usize::MAX).max(1);
     let mut level = Vec::new();
@@ -53,7 +53,7 @@ pub(crate) fn count_pass(
         ));
         // Global reduction: sum the chunk's count vector across all ranks.
         let mut counts = tree.count_vector();
-        comm.world().allreduce_sum_u64(&mut counts);
+        ctx.world(comm).try_allreduce_sum_u64(&mut counts)?;
         tree.set_count_vector(&counts);
         level.extend(tree.frequent(ctx.min_count));
         scans += 1;
@@ -61,12 +61,12 @@ pub(crate) fn count_pass(
     }
     // Chunks are contiguous slices of the sorted candidate list, so the
     // concatenated level is already lexicographically sorted.
-    PassResult {
+    Ok(PassResult {
         level,
         stats,
         db_scans: scans.max(1),
         grid: (1, p),
         candidate_imbalance: 0.0,
         counted_candidates: None,
-    }
+    })
 }

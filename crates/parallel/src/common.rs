@@ -5,7 +5,7 @@
 use armine_core::apriori::apriori_gen;
 use armine_core::hashtree::{HashTree, HashTreeParams, OwnershipFilter, TreeStats};
 use armine_core::{Item, ItemSet, Transaction};
-use armine_mpsim::{Comm, Scope};
+use armine_mpsim::{Comm, FaultPlan, RecvFault, Scope};
 use std::sync::Arc;
 
 /// An immutable, shared page of transactions — the unit of data movement.
@@ -20,9 +20,13 @@ pub(crate) type TransactionPage = Arc<[Transaction]>;
 /// Tag space for transaction pages (round/step encoded in high bits).
 pub(crate) const TAG_DATA: u64 = 1 << 20;
 
-/// What every rank knows at the start of a run.
+/// What every rank knows at the start of a pass attempt. Under crash
+/// recovery the last three fields evolve: the member list shrinks as
+/// deaths commit, the local slice grows as the rank adopts a dead peer's
+/// data, and the epoch counts pass-boundary syncs so that message scopes
+/// of abandoned attempts can never cross-deliver into a retry.
 pub(crate) struct RankCtx {
-    /// This rank's N/P slice of the database.
+    /// This rank's slice of the database (grows on recovery).
     pub local: Vec<Transaction>,
     /// Item-universe size.
     pub num_items: u32,
@@ -30,12 +34,57 @@ pub(crate) struct RankCtx {
     pub min_count: u64,
     /// Transactions per communication buffer.
     pub page_size: usize,
+    /// Global ranks still participating, ascending. Initially `0..P`.
+    pub members: Vec<usize>,
+    /// This rank's index in `members`.
+    pub my_index: usize,
+    /// Recovery epoch: incremented after every membership sync.
+    pub epoch: u64,
 }
 
 impl RankCtx {
+    /// The context of a fresh run over `procs` ranks.
+    pub fn new(
+        local: Vec<Transaction>,
+        num_items: u32,
+        min_count: u64,
+        page_size: usize,
+        rank: usize,
+        procs: usize,
+    ) -> Self {
+        RankCtx {
+            local,
+            num_items,
+            min_count,
+            page_size,
+            members: (0..procs).collect(),
+            my_index: rank,
+            epoch: 0,
+        }
+    }
+
     /// Wire bytes of this rank's whole local slice.
     pub fn local_bytes(&self) -> usize {
         self.local.iter().map(Transaction::wire_size).sum()
+    }
+
+    /// Number of participating ranks.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Namespaces a scope id by the recovery epoch. Epoch 0 maps `base`
+    /// to itself, so fault-free runs use exactly the historical ids.
+    pub fn scope_id(&self, base: u64) -> u64 {
+        debug_assert!(base < 1 << 40, "scope base collides with epoch bits");
+        (self.epoch << 40) | base
+    }
+
+    /// The all-members scope of the current attempt — [`Comm::world`]
+    /// while membership is full, a shrunken epoch-stamped sub-scope after
+    /// a recovery.
+    pub fn world<'a>(&self, comm: &'a mut Comm) -> Scope<'a> {
+        comm.scope(self.scope_id(0), self.members.clone())
     }
 }
 
@@ -122,7 +171,10 @@ pub(crate) fn count_batch_charged(
 /// Pass 1: dense local item counting + global reduction. Identical in all
 /// four algorithms (the candidate set `C_1` is the item universe; no tree
 /// is needed).
-pub(crate) fn parallel_pass1(comm: &mut Comm, ctx: &RankCtx) -> Vec<(ItemSet, u64)> {
+pub(crate) fn parallel_pass1(
+    comm: &mut Comm,
+    ctx: &RankCtx,
+) -> Result<Vec<(ItemSet, u64)>, RecvFault> {
     let mut counts = vec![0u64; ctx.num_items as usize];
     let mut touched = 0usize;
     for t in &ctx.local {
@@ -134,13 +186,13 @@ pub(crate) fn parallel_pass1(comm: &mut Comm, ctx: &RankCtx) -> Vec<(ItemSet, u6
     let m = *comm.machine();
     comm.advance(touched as f64 * m.t_travers + ctx.local.len() as f64 * m.t_trans);
     comm.charge_io(ctx.local_bytes());
-    comm.world().allreduce_sum_u64(&mut counts);
-    counts
+    ctx.world(comm).try_allreduce_sum_u64(&mut counts)?;
+    Ok(counts
         .iter()
         .enumerate()
         .filter(|&(_, &c)| c >= ctx.min_count)
         .map(|(id, &c)| (ItemSet::singleton(Item(id as u32)), c))
-        .collect()
+        .collect())
 }
 
 /// Splits a slice of transactions into shared pages of at most
@@ -179,14 +231,15 @@ pub(crate) fn merge_levels(parts: Vec<Vec<(ItemSet, u64)>>) -> Vec<(ItemSet, u64
 /// pages visit every member exactly once; the in-hand buffer is processed
 /// while the shift is in flight (asynchronous send/recv → compute and
 /// communication overlap in virtual time). Accumulates and returns the
-/// counting work performed.
+/// counting work performed; fails (for pass-boundary recovery) when the
+/// left neighbour dies or abandons the attempt mid-ring.
 pub(crate) fn ring_shift_count(
     scope: &mut Scope<'_>,
     my_pages: &[TransactionPage],
     max_pages: usize,
     tree: &mut HashTree,
     filter: &OwnershipFilter,
-) -> TreeStats {
+) -> Result<TreeStats, RecvFault> {
     let p = scope.size();
     let mut stats = TreeStats::default();
     // Members whose slice has fewer pages than the ring's longest member
@@ -221,22 +274,34 @@ pub(crate) fn ring_shift_count(
             // Subset(HTree, SBuf) — overlapped with the in-flight shift.
             count_buf(scope, &sbuf, &mut stats);
             // MPI_Waitall.
-            let incoming: TransactionPage = scope.wait_recv(rh);
+            let incoming: TransactionPage = scope.try_wait_recv(rh)?;
             scope.wait_send(sh);
             sbuf = incoming;
         }
         // Process the final buffer (travelled the whole ring).
         count_buf(scope, &sbuf, &mut stats);
     }
-    stats
+    Ok(stats)
 }
 
 /// The shared multi-pass driver: pass 1 then repeated
 /// `apriori_gen` → algorithm-specific counting, until a pass yields no
 /// frequent itemsets.
+///
+/// Under a crash-injecting fault plan each pass becomes an
+/// attempt/sync/retry loop: a failed attempt floods abort notifications,
+/// every member joins a two-round membership sync
+/// ([`crate::recovery::pass_sync`]), committed deaths shrink the member
+/// list and redistribute the dead rank's data
+/// ([`crate::recovery::adopt`]), and only the interrupted pass is
+/// re-executed — the committed `levels` are the checkpoint. Without
+/// crashes in the plan the loop degenerates to exactly one attempt per
+/// pass with no sync and epoch pinned at 0, leaving the virtual clocks of
+/// fault-free runs bit-identical to the pre-recovery code.
 pub(crate) fn run_rank(
     comm: &mut Comm,
-    ctx: &RankCtx,
+    mut ctx: RankCtx,
+    parts: &[Vec<Transaction>],
     max_k: Option<usize>,
     mut count_pass: impl FnMut(
         &mut Comm,
@@ -244,34 +309,65 @@ pub(crate) fn run_rank(
         usize,
         Vec<ItemSet>,
         &[(ItemSet, u64)],
-    ) -> PassResult,
+    ) -> Result<PassResult, RecvFault>,
 ) -> RankOutput {
-    let mut levels = Vec::new();
+    let recoverable = comm.fault_plan().is_some_and(FaultPlan::has_crashes);
+    let mut holdings = crate::recovery::initial_holdings(parts);
+    let mut levels: Vec<Vec<(ItemSet, u64)>> = Vec::new();
     let mut passes = Vec::new();
-
-    let f1 = parallel_pass1(comm, ctx);
-    passes.push(RankPass {
-        k: 1,
-        candidates_total: ctx.num_items as usize,
-        counted_candidates: ctx.num_items as usize,
-        grid: (1, comm.size()),
-        stats: TreeStats::default(),
-        db_scans: 1,
-        candidate_imbalance: 0.0,
-        clock_end: comm.clock(),
-    });
-    let mut prev: Vec<ItemSet> = f1.iter().map(|(s, _)| s.clone()).collect();
-    levels.push(f1);
-
-    let mut k = 2;
-    while !prev.is_empty() && max_k.is_none_or(|m| k <= m) {
-        let candidates = apriori_gen(&prev);
-        if candidates.is_empty() {
-            break;
-        }
-        let total = candidates.len();
-        let prev_level: &[(ItemSet, u64)] = levels.last().map_or(&[], Vec::as_slice);
-        let result = count_pass(comm, ctx, k, candidates, prev_level);
+    let mut prev: Vec<ItemSet> = Vec::new();
+    let mut k = 1;
+    loop {
+        // C_k: the item universe for pass 1, apriori_gen thereafter.
+        let candidates: Option<Vec<ItemSet>> = if k == 1 {
+            None
+        } else {
+            if prev.is_empty() || max_k.is_some_and(|m| k > m) {
+                break;
+            }
+            let c = apriori_gen(&prev);
+            if c.is_empty() {
+                break;
+            }
+            Some(c)
+        };
+        let total = candidates.as_ref().map_or(ctx.num_items as usize, Vec::len);
+        let result = loop {
+            comm.enter_pass(k);
+            comm.set_epoch(ctx.epoch);
+            let attempt = match &candidates {
+                None => parallel_pass1(comm, &ctx).map(|level| PassResult {
+                    level,
+                    stats: TreeStats::default(),
+                    db_scans: 1,
+                    grid: (1, ctx.size()),
+                    candidate_imbalance: 0.0,
+                    counted_candidates: None,
+                }),
+                Some(c) => {
+                    let prev_level: &[(ItemSet, u64)] = levels.last().map_or(&[], Vec::as_slice);
+                    count_pass(comm, &ctx, k, c.clone(), prev_level)
+                }
+            };
+            if !recoverable {
+                // No crashes can be injected, so receives cannot fail:
+                // single attempt, no sync, epoch stays 0.
+                break attempt.unwrap_or_else(|fault| {
+                    panic!("receive failed without a crashing fault plan: {fault}")
+                });
+            }
+            let outcome = crate::recovery::pass_sync(comm, &ctx, &attempt);
+            if !outcome.dead.is_empty() {
+                crate::recovery::adopt(comm, &mut ctx, &mut holdings, parts, &outcome.dead);
+            }
+            ctx.epoch += 1;
+            match attempt {
+                Ok(result) if !outcome.any_abort => break result,
+                // Someone aborted: every member discards the attempt and
+                // re-runs pass k under the (possibly shrunken) membership.
+                _ => debug_assert!(outcome.any_abort, "a failed attempt floods its abort"),
+            }
+        };
         prev = result.level.iter().map(|(s, _)| s.clone()).collect();
         passes.push(RankPass {
             k,
@@ -362,7 +458,8 @@ mod tests {
                 max_pages,
                 &mut tree,
                 &OwnershipFilter::all(),
-            );
+            )
+            .expect("fault-free ring cannot fail");
             (tree.count_of(&ItemSet::from([1, 2])), stats.transactions)
         });
         for (rank, (count, seen)) in result.results.iter().enumerate() {

@@ -23,7 +23,7 @@ use crate::config::ParallelParams;
 use armine_core::binpack::partition_round_robin;
 use armine_core::hashtree::{OwnershipFilter, TreeStats};
 use armine_core::ItemSet;
-use armine_mpsim::Comm;
+use armine_mpsim::{Comm, RecvFault};
 
 /// How DD moves transaction pages between processors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,9 +43,9 @@ pub(crate) fn count_pass(
     candidates: Vec<ItemSet>,
     params: &ParallelParams,
     scheme: CommScheme,
-) -> PassResult {
-    let p = comm.size();
-    let me = comm.rank();
+) -> Result<PassResult, RecvFault> {
+    let p = ctx.size();
+    let me = ctx.my_index;
     let total = candidates.len();
     let part = partition_round_robin(&candidates, p);
     let mine = part.parts[me].clone();
@@ -55,7 +55,7 @@ pub(crate) fn count_pass(
     let my_pages = paginate(&ctx.local, ctx.page_size);
     // Everyone must loop over the globally largest page count so the
     // exchange pattern stays aligned.
-    let page_counts: Vec<u64> = comm.world().allgather(my_pages.len() as u64, 8);
+    let page_counts: Vec<u64> = ctx.world(comm).try_allgather(my_pages.len() as u64, 8)?;
     let max_pages = page_counts.iter().copied().max().unwrap_or(0) as usize;
 
     let stats = match scheme {
@@ -63,7 +63,7 @@ pub(crate) fn count_pass(
             let mut stats = TreeStats::default();
             let filter = OwnershipFilter::all();
             for round in 0..max_pages {
-                let mut world = comm.world();
+                let mut world = ctx.world(comm);
                 // Send my page of this round to every other processor
                 // (asynchronous in the paper, but the single-ported sender
                 // still serializes the P−1 link occupancies). Each send is
@@ -87,7 +87,7 @@ pub(crate) fn count_pass(
                 }
                 for other in 0..p {
                     if other != me && round < page_counts[other] as usize {
-                        batch.push(world.recv(other, TAG_DATA | (round as u64) << 8));
+                        batch.push(world.try_recv(other, TAG_DATA | (round as u64) << 8)?);
                     }
                 }
                 drop(world);
@@ -98,14 +98,14 @@ pub(crate) fn count_pass(
             stats
         }
         CommScheme::RingPipeline => {
-            let mut world = comm.world();
+            let mut world = ctx.world(comm);
             ring_shift_count(
                 &mut world,
                 &my_pages,
                 max_pages,
                 &mut tree,
                 &OwnershipFilter::all(),
-            )
+            )?
         }
     };
 
@@ -114,13 +114,13 @@ pub(crate) fn count_pass(
     // all-to-all broadcast so every rank assembles the full F_k.
     let mine_frequent = tree.frequent(ctx.min_count);
     let bytes = level_wire_size(&mine_frequent);
-    let all = comm.world().allgather(mine_frequent, bytes);
-    PassResult {
+    let all = ctx.world(comm).try_allgather(mine_frequent, bytes)?;
+    Ok(PassResult {
         level: merge_levels(all),
         stats,
         db_scans: 1,
         grid: (p, 1),
         candidate_imbalance: part.imbalance,
         counted_candidates: None,
-    }
+    })
 }

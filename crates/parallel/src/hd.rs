@@ -25,7 +25,7 @@ use crate::common::{
 use crate::config::ParallelParams;
 use crate::idd::make_partition;
 use armine_core::ItemSet;
-use armine_mpsim::Comm;
+use armine_mpsim::{Comm, RecvFault};
 
 /// Scope-id namespaces for the grid's sub-communicators.
 const SCOPE_COLUMN: u64 = 1_000;
@@ -58,14 +58,16 @@ pub(crate) fn count_pass(
     candidates: Vec<ItemSet>,
     params: &ParallelParams,
     group_threshold: usize,
-) -> PassResult {
-    let p = comm.size();
-    let me = comm.rank();
+) -> Result<PassResult, RecvFault> {
+    let p = ctx.size();
+    let me = ctx.my_index;
     let total = candidates.len();
     let (g, cols) = choose_grid(p, total, group_threshold);
     let (my_row, my_col) = (me / cols, me % cols);
-    let col_members: Vec<usize> = (0..g).map(|r| r * cols + my_col).collect();
-    let row_members: Vec<usize> = (0..cols).map(|c| my_row * cols + c).collect();
+    // Grid positions are member-list indices, mapped to global ranks so
+    // the sub-scopes stay valid after a recovery shrinks the membership.
+    let col_members: Vec<usize> = (0..g).map(|r| ctx.members[r * cols + my_col]).collect();
+    let row_members: Vec<usize> = (0..cols).map(|c| ctx.members[my_row * cols + c]).collect();
 
     // Candidates partitioned among the G rows — identical in every column.
     let part = make_partition(&candidates, ctx.num_items, g, params);
@@ -78,34 +80,40 @@ pub(crate) fn count_pass(
     // around the column ring, counting with the bitmap filter.
     let my_pages = paginate(&ctx.local, ctx.page_size);
     let (stats, counts) = {
-        let mut col = comm.scope(SCOPE_COLUMN + my_col as u64, col_members.clone());
-        let page_counts: Vec<u64> = col.allgather(my_pages.len() as u64, 8);
+        let mut col = comm.scope(
+            ctx.scope_id(SCOPE_COLUMN + my_col as u64),
+            col_members.clone(),
+        );
+        let page_counts: Vec<u64> = col.try_allgather(my_pages.len() as u64, 8)?;
         let max_pages = page_counts.iter().copied().max().unwrap_or(0) as usize;
-        let stats = ring_shift_count(&mut col, &my_pages, max_pages, &mut tree, &filter);
+        let stats = ring_shift_count(&mut col, &my_pages, max_pages, &mut tree, &filter)?;
         (stats, tree.count_vector())
     };
 
     // Step 2 — reduction along the row: processors in a row hold the same
     // candidate subset; summing gives global counts.
     let mut counts = counts;
-    comm.scope(SCOPE_ROW + my_row as u64, row_members)
-        .allreduce_sum_u64(&mut counts);
+    comm.scope(ctx.scope_id(SCOPE_ROW + my_row as u64), row_members)
+        .try_allreduce_sum_u64(&mut counts)?;
     tree.set_count_vector(&counts);
     let mine_frequent = tree.frequent(ctx.min_count);
 
     // Step 3 — all-to-all broadcast along the column: reassemble F_k.
     let bytes = level_wire_size(&mine_frequent);
     let col_levels = comm
-        .scope(SCOPE_COLUMN_BCAST + my_col as u64, col_members)
-        .allgather(mine_frequent, bytes);
-    PassResult {
+        .scope(
+            ctx.scope_id(SCOPE_COLUMN_BCAST + my_col as u64),
+            col_members,
+        )
+        .try_allgather(mine_frequent, bytes)?;
+    Ok(PassResult {
         level: merge_levels(col_levels),
         stats,
         db_scans: 1,
         grid: (g, cols),
         candidate_imbalance: part.imbalance,
         counted_candidates: None,
-    }
+    })
 }
 
 #[cfg(test)]

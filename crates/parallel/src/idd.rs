@@ -21,7 +21,7 @@ use crate::common::{
 use crate::config::ParallelParams;
 use armine_core::binpack::{partition_by_first_item, partition_two_level, CandidatePartition};
 use armine_core::ItemSet;
-use armine_mpsim::Comm;
+use armine_mpsim::{Comm, RecvFault};
 
 /// Builds IDD's candidate partition: bin-packed single-level by default,
 /// two-level when a split threshold is configured.
@@ -115,9 +115,9 @@ pub(crate) fn count_pass(
     k: usize,
     candidates: Vec<ItemSet>,
     params: &ParallelParams,
-) -> PassResult {
-    let p = comm.size();
-    let me = comm.rank();
+) -> Result<PassResult, RecvFault> {
+    let p = ctx.size();
+    let me = ctx.my_index;
     let total = candidates.len();
     // Deterministic on every rank: same candidates → same packing.
     let part = make_partition(&candidates, ctx.num_items, p, params);
@@ -127,25 +127,25 @@ pub(crate) fn count_pass(
     comm.charge_io(ctx.local_bytes());
 
     let my_pages = paginate(&ctx.local, ctx.page_size);
-    let page_counts: Vec<u64> = comm.world().allgather(my_pages.len() as u64, 8);
+    let page_counts: Vec<u64> = ctx.world(comm).try_allgather(my_pages.len() as u64, 8)?;
     let max_pages = page_counts.iter().copied().max().unwrap_or(0) as usize;
 
     let stats = {
-        let mut world = comm.world();
-        ring_shift_count(&mut world, &my_pages, max_pages, &mut tree, &filter)
+        let mut world = ctx.world(comm);
+        ring_shift_count(&mut world, &my_pages, max_pages, &mut tree, &filter)?
     };
 
     let mine_frequent = tree.frequent(ctx.min_count);
     let bytes = level_wire_size(&mine_frequent);
-    let all = comm.world().allgather(mine_frequent, bytes);
-    PassResult {
+    let all = ctx.world(comm).try_allgather(mine_frequent, bytes)?;
+    Ok(PassResult {
         level: merge_levels(all),
         stats,
         db_scans: 1,
         grid: (p, 1),
         candidate_imbalance: part.imbalance,
         counted_candidates: None,
-    }
+    })
 }
 
 #[cfg(test)]

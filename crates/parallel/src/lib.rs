@@ -21,6 +21,15 @@
 //! exact (tested identical to serial Apriori), response times come from the
 //! calibrated cost model.
 //!
+//! Runs can also be subjected to deterministic fault injection
+//! ([`armine_mpsim::FaultPlan`]): [`ParallelMiner::mine_with_faults`]
+//! tolerates message loss, stragglers, and rank crashes for CD, DD,
+//! DD+comm, IDD, HD, and PDM. The replicated frequent-itemset lattice
+//! acts as the pass-boundary checkpoint — survivors adopt a dead rank's
+//! transaction partitions and candidate responsibility, re-execute only
+//! the interrupted pass, and mine a lattice bit-identical to the
+//! fault-free run ([`FaultRunError`] reports the unrecoverable cases).
+//!
 //! ```
 //! use armine_datagen::QuestParams;
 //! use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
@@ -45,10 +54,11 @@ mod metrics;
 mod miner;
 mod npa;
 mod pdm;
+mod recovery;
 mod rules;
 
 pub use config::ParallelParams;
 pub use hd::choose_grid;
 pub use metrics::{ParallelPassMetrics, ParallelRun};
-pub use miner::{Algorithm, ParallelMiner};
+pub use miner::{Algorithm, FaultRunError, ParallelMiner};
 pub use rules::ParallelRulesRun;

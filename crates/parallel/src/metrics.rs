@@ -81,6 +81,24 @@ impl ParallelRun {
     pub fn total_db_scans(&self) -> usize {
         self.passes.iter().map(|p| p.db_scans).sum()
     }
+
+    /// Transmission attempts lost to injected faults and re-sent after an
+    /// ack-timeout backoff, summed over ranks (0 in fault-free runs).
+    pub fn total_retransmits(&self) -> u64 {
+        self.ranks.iter().map(|r| r.retransmits).sum()
+    }
+
+    /// Failure-detector timeouts (receives that concluded the awaited
+    /// peer was dead), summed over ranks.
+    pub fn total_timeouts(&self) -> u64 {
+        self.ranks.iter().map(|r| r.timeouts).sum()
+    }
+
+    /// Committed recovery events (membership shrinks with work
+    /// redistribution), summed over ranks.
+    pub fn total_recoveries(&self) -> u64 {
+        self.ranks.iter().map(|r| r.recoveries).sum()
+    }
 }
 
 fn imbalance(values: impl IntoIterator<Item = f64>) -> f64 {

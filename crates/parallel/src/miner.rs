@@ -9,7 +9,7 @@ use crate::{cd, dd, hd, hpa, idd, npa, pdm};
 use armine_core::apriori::FrequentItemsets;
 use armine_core::hashtree::TreeStats;
 use armine_core::Dataset;
-use armine_mpsim::{MachineProfile, SimResult, Simulator, Topology};
+use armine_mpsim::{FaultPlan, MachineProfile, SimResult, Simulator, Topology};
 
 /// Which parallel formulation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +77,56 @@ impl Algorithm {
             Algorithm::Pdm { .. } => "PDM",
         }
     }
+
+    /// Whether the formulation can recover from rank crashes (transient
+    /// faults — message loss and stragglers — are transparent to all of
+    /// them). The paper's five principals plus PDM share the pass-boundary
+    /// recovery protocol; the related-work reproductions (HPA, NPA) and
+    /// single-source IDD have structurally special ranks (hash owners,
+    /// the coordinator, the data source) whose loss is not survivable.
+    pub fn supports_crash_recovery(&self) -> bool {
+        match self {
+            Algorithm::Cd
+            | Algorithm::Dd
+            | Algorithm::DdComm
+            | Algorithm::Idd
+            | Algorithm::Hd { .. }
+            | Algorithm::Pdm { .. } => true,
+            Algorithm::Hpa { .. } | Algorithm::IddSingleSource | Algorithm::Npa => false,
+        }
+    }
 }
+
+/// Why a fault-injected mining run could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultRunError {
+    /// The plan crashed every rank: no survivor holds the lattice.
+    AllRanksCrashed,
+    /// The plan crashes ranks but the algorithm cannot recover from
+    /// crashes (see [`Algorithm::supports_crash_recovery`]).
+    UnsupportedAlgorithm {
+        /// `Algorithm::name()` of the rejected formulation.
+        algorithm: &'static str,
+    },
+    /// The plan failed validation (out-of-range rates, bad crash ranks…).
+    InvalidPlan(String),
+}
+
+impl std::fmt::Display for FaultRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultRunError::AllRanksCrashed => {
+                write!(f, "every rank crashed before the mining completed")
+            }
+            FaultRunError::UnsupportedAlgorithm { algorithm } => {
+                write!(f, "{algorithm} cannot recover from rank crashes")
+            }
+            FaultRunError::InvalidPlan(why) => write!(f, "invalid fault plan: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultRunError {}
 
 /// A configured parallel mining engine: processor count + machine profile
 /// + interconnect.
@@ -127,6 +176,42 @@ impl ParallelMiner {
         dataset: &Dataset,
         params: &ParallelParams,
     ) -> ParallelRun {
+        self.mine_with_faults(algorithm, dataset, params, None)
+            .expect("fault-free mining cannot fail")
+    }
+
+    /// Mines `dataset` with `algorithm` on an unreliable machine: `plan`
+    /// injects deterministic message loss, stragglers, and rank crashes
+    /// (see [`FaultPlan`]). Transient faults cost virtual time but never
+    /// correctness; crashes trigger pass-boundary recovery — survivors
+    /// agree on the shrunken membership, adopt the dead rank's share of
+    /// the database, and re-execute only the interrupted pass, so the
+    /// mined itemsets are bit-identical to a fault-free run. Fails when
+    /// the plan is invalid, crashes an algorithm that cannot recover, or
+    /// kills every rank.
+    pub fn mine_with_faults(
+        &self,
+        algorithm: Algorithm,
+        dataset: &Dataset,
+        params: &ParallelParams,
+        plan: Option<&FaultPlan>,
+    ) -> Result<ParallelRun, FaultRunError> {
+        if let Some(plan) = plan {
+            plan.validate().map_err(FaultRunError::InvalidPlan)?;
+            if plan.has_crashes() {
+                if !algorithm.supports_crash_recovery() {
+                    return Err(FaultRunError::UnsupportedAlgorithm {
+                        algorithm: algorithm.name(),
+                    });
+                }
+                if let Some(&r) = plan.crashed_ranks().iter().find(|&&r| r >= self.procs) {
+                    return Err(FaultRunError::InvalidPlan(format!(
+                        "crash of rank {r} is out of range for {} processors",
+                        self.procs
+                    )));
+                }
+            }
+        }
         // Single-source mode: the whole database sits on rank 0.
         let parts = if algorithm == Algorithm::IddSingleSource {
             let mut parts = vec![Vec::new(); self.procs];
@@ -137,21 +222,27 @@ impl ParallelMiner {
         };
         let num_items = dataset.num_items();
         let min_count = params.min_support.resolve(dataset.len());
-        let sim = Simulator::new(self.procs)
+        let mut sim = Simulator::new(self.procs)
             .machine(self.machine)
             .topology(self.topology);
+        if let Some(plan) = plan {
+            sim = sim.fault_plan(plan.clone());
+        }
         let parts = &parts;
         let params_copy = *params;
-        let result: SimResult<RankOutput> = sim.run(move |comm| {
-            let ctx = RankCtx {
-                local: parts[comm.rank()].clone(),
+        let result: SimResult<Option<RankOutput>> = sim.run_with_faults(move |comm| {
+            let ctx = RankCtx::new(
+                parts[comm.rank()].clone(),
                 num_items,
                 min_count,
-                page_size: params_copy.page_size,
-            };
+                params_copy.page_size,
+                comm.rank(),
+                comm.size(),
+            );
             run_rank(
                 comm,
-                &ctx,
+                ctx,
+                parts,
                 params_copy.max_k,
                 |comm, ctx, k, candidates, prev| match algorithm {
                     Algorithm::Cd => cd::count_pass(comm, ctx, k, candidates, &params_copy),
@@ -175,13 +266,23 @@ impl ParallelMiner {
                     Algorithm::Hd { group_threshold } => {
                         hd::count_pass(comm, ctx, k, candidates, &params_copy, group_threshold)
                     }
-                    Algorithm::Hpa { eld_permille } => {
-                        hpa::count_pass(comm, ctx, k, candidates, prev, &params_copy, eld_permille)
-                    }
-                    Algorithm::IddSingleSource => {
-                        idd::count_pass_single_source(comm, ctx, k, candidates, &params_copy)
-                    }
-                    Algorithm::Npa => npa::count_pass(comm, ctx, k, candidates, &params_copy),
+                    Algorithm::Hpa { eld_permille } => Ok(hpa::count_pass(
+                        comm,
+                        ctx,
+                        k,
+                        candidates,
+                        prev,
+                        &params_copy,
+                        eld_permille,
+                    )),
+                    Algorithm::IddSingleSource => Ok(idd::count_pass_single_source(
+                        comm,
+                        ctx,
+                        k,
+                        candidates,
+                        &params_copy,
+                    )),
+                    Algorithm::Npa => Ok(npa::count_pass(comm, ctx, k, candidates, &params_copy)),
                     Algorithm::Pdm {
                         buckets,
                         filter_passes,
@@ -204,6 +305,7 @@ impl ParallelMiner {
             min_count,
             result,
         )
+        .ok_or(FaultRunError::AllRanksCrashed)
     }
 
     /// Generates association rules from a mined (replicated) frequent
@@ -224,29 +326,32 @@ impl ParallelMiner {
     }
 }
 
-/// Folds the per-rank outputs into one [`ParallelRun`].
+/// Folds the per-rank outputs into one [`ParallelRun`]. Crashed ranks
+/// contribute `None` (their [`armine_mpsim::RankStats`] still count);
+/// returns `None` only when nobody survived.
 fn assemble(
     algorithm: &'static str,
     procs: usize,
     total_n: usize,
     min_count: u64,
-    result: SimResult<RankOutput>,
-) -> ParallelRun {
+    result: SimResult<Option<RankOutput>>,
+) -> Option<ParallelRun> {
     let response_time = result.response_time();
     let SimResult { results, ranks, .. } = result;
-    // Every rank must have discovered the identical lattice.
+    let survivors: Vec<RankOutput> = results.into_iter().flatten().collect();
+    // Every surviving rank must have discovered the identical lattice.
     debug_assert!(
-        results.windows(2).all(|w| w[0].levels == w[1].levels),
+        survivors.windows(2).all(|w| w[0].levels == w[1].levels),
         "ranks disagree on the frequent itemsets"
     );
-    let first = &results[0];
+    let first = survivors.first()?;
     let num_passes = first.passes.len();
     let mut passes = Vec::with_capacity(num_passes);
     let mut prev_end = 0.0f64;
     for i in 0..num_passes {
         let mut stats = TreeStats::default();
         let mut end = 0.0f64;
-        for r in &results {
+        for r in &survivors {
             stats = stats.merged(&r.passes[i].stats);
             end = end.max(r.passes[i].clock_end);
         }
@@ -264,8 +369,8 @@ fn assemble(
         });
         prev_end = end;
     }
-    let levels = results.into_iter().next().unwrap().levels;
-    ParallelRun {
+    let levels = survivors.into_iter().next().unwrap().levels;
+    Some(ParallelRun {
         algorithm,
         procs,
         frequent: FrequentItemsets::from_levels(levels, total_n as u64),
@@ -273,7 +378,7 @@ fn assemble(
         response_time,
         ranks,
         min_count,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -531,6 +636,103 @@ mod tests {
             let run = ParallelMiner::new(4).mine(algo, &tiny, &params);
             assert_eq!(run.frequent.len(), 7, "{}", algo.name());
         }
+    }
+
+    #[test]
+    fn crash_recovery_reproduces_fault_free_itemsets() {
+        use armine_mpsim::{CrashPoint, FaultPlan};
+        let dataset = quest(240, 70, 59);
+        let params = ParallelParams::with_min_support_count(8)
+            .page_size(40)
+            .max_k(4);
+        let miner = ParallelMiner::new(4);
+        let plan = FaultPlan::new()
+            .seed(7)
+            .drop_rate(0.02)
+            .slowdown(1, 2.0)
+            .crash(2, CrashPoint::AtPass(3));
+        for algo in ALGOS {
+            let clean = miner.mine(algo, &dataset, &params);
+            let faulted = miner
+                .mine_with_faults(algo, &dataset, &params, Some(&plan))
+                .unwrap_or_else(|e| panic!("{} under faults: {e}", algo.name()));
+            let clean_sets: Vec<(ItemSet, u64)> =
+                clean.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+            let faulted_sets: Vec<(ItemSet, u64)> = faulted
+                .frequent
+                .iter()
+                .map(|(s, c)| (s.clone(), c))
+                .collect();
+            assert_eq!(faulted_sets, clean_sets, "{} diverged", algo.name());
+            assert!(
+                faulted.total_recoveries() > 0,
+                "{} must commit a recovery",
+                algo.name()
+            );
+            assert!(faulted.total_timeouts() > 0, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn crashing_plans_are_rejected_for_unsupported_algorithms() {
+        use armine_mpsim::{CrashPoint, FaultPlan};
+        let dataset = quest(120, 40, 59);
+        let params = ParallelParams::with_min_support_count(6).max_k(3);
+        let miner = ParallelMiner::new(4);
+        let plan = FaultPlan::new().crash(1, CrashPoint::AtPass(2));
+        for algo in [
+            Algorithm::Npa,
+            Algorithm::Hpa { eld_permille: 0 },
+            Algorithm::IddSingleSource,
+        ] {
+            assert_eq!(
+                miner
+                    .mine_with_faults(algo, &dataset, &params, Some(&plan))
+                    .unwrap_err(),
+                FaultRunError::UnsupportedAlgorithm {
+                    algorithm: algo.name()
+                },
+                "{}",
+                algo.name()
+            );
+        }
+        // Transient faults are fine for the same algorithms.
+        let transient = FaultPlan::new().seed(3).drop_rate(0.05);
+        for algo in [Algorithm::Npa, Algorithm::Hpa { eld_permille: 0 }] {
+            let run = miner
+                .mine_with_faults(algo, &dataset, &params, Some(&transient))
+                .expect("transient faults are recoverable everywhere");
+            assert!(run.total_retransmits() > 0);
+        }
+    }
+
+    #[test]
+    fn all_ranks_crashing_errors_cleanly() {
+        use armine_mpsim::{CrashPoint, FaultPlan};
+        let dataset = quest(120, 40, 61);
+        let params = ParallelParams::with_min_support_count(6).max_k(3);
+        let mut plan = FaultPlan::new();
+        for rank in 0..3 {
+            plan = plan.crash(rank, CrashPoint::AtPass(2));
+        }
+        assert_eq!(
+            ParallelMiner::new(3)
+                .mine_with_faults(Algorithm::Cd, &dataset, &params, Some(&plan))
+                .unwrap_err(),
+            FaultRunError::AllRanksCrashed
+        );
+    }
+
+    #[test]
+    fn out_of_range_crash_rank_is_an_invalid_plan() {
+        use armine_mpsim::{CrashPoint, FaultPlan};
+        let dataset = quest(120, 40, 61);
+        let params = ParallelParams::with_min_support_count(6).max_k(3);
+        let plan = FaultPlan::new().crash(9, CrashPoint::AtTime(0.001));
+        assert!(matches!(
+            ParallelMiner::new(4).mine_with_faults(Algorithm::Cd, &dataset, &params, Some(&plan)),
+            Err(FaultRunError::InvalidPlan(_))
+        ));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::common::{PassResult, RankCtx};
 use crate::config::ParallelParams;
 use armine_core::dhp::HashFilter;
 use armine_core::ItemSet;
-use armine_mpsim::Comm;
+use armine_mpsim::{Comm, RecvFault};
 
 /// One PDM counting pass. `filter_passes` bounds which passes build and
 /// apply a hash filter (the original uses it for pass 2, where `|C_2|`
@@ -35,7 +35,7 @@ pub(crate) fn count_pass(
     params: &ParallelParams,
     buckets: usize,
     filter_passes: usize,
-) -> PassResult {
+) -> Result<PassResult, RecvFault> {
     let total = candidates.len();
     let candidates = if k >= 2 && k <= 1 + filter_passes {
         // Build the local bucket table for this pass's subset size over
@@ -52,7 +52,7 @@ pub(crate) fn count_pass(
         comm.advance(hashed as f64 * machine.t_travers);
         // Global reduction of the bucket table (the PDM-specific traffic).
         let mut counts = filter.counts().to_vec();
-        comm.world().allreduce_sum_u64(&mut counts);
+        ctx.world(comm).try_allreduce_sum_u64(&mut counts)?;
         filter.set_counts(&counts);
         // Prune: identical on every rank (global counts, same candidates).
         candidates
@@ -63,10 +63,10 @@ pub(crate) fn count_pass(
         candidates
     };
     let counted = candidates.len();
-    let mut result = cd::count_pass(comm, ctx, k, candidates, params);
+    let mut result = cd::count_pass(comm, ctx, k, candidates, params)?;
     result.counted_candidates = Some(counted);
     let _ = total;
-    result
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -1,0 +1,254 @@
+//! Pass-boundary checkpointing and crash recovery shared by the
+//! fault-tolerant formulations (CD, DD, DD+comm, IDD, HD, PDM).
+//!
+//! Every pass of every formulation ends with an exchange that leaves the
+//! complete global `F_k` replicated on all ranks, so the frequent-itemset
+//! lattice committed so far **is** the checkpoint — recovery never needs
+//! to re-execute a finished pass. What recovery must reconstruct is:
+//!
+//! 1. **Agreement on membership** — which ranks are dead and whether the
+//!    interrupted pass committed anywhere ([`pass_sync`], a two-round
+//!    flooding protocol).
+//! 2. **Data placement** — the dead rank's share of the database, which
+//!    survivors re-read from stable storage ([`adopt`]; the original
+//!    partitions are the simulator's stand-in for the paper's disk-
+//!    resident database, so adoption charges I/O, not messages).
+//!
+//! The decision rule is deliberately conservative: if **any** member
+//! aborted the pass, everyone discards the attempt and re-executes it
+//! under the shrunken membership; only a unanimously completed pass
+//! commits. Because a committed pass is always computed from the same
+//! candidate set and the full database — regardless of how many members
+//! share the counting — the final lattice is bit-identical to a
+//! fault-free run.
+//!
+//! ## Why round-2 failures must not commit
+//!
+//! The two rounds are a FloodSet exchange tolerating one crash per pass
+//! boundary. A rank that crashes mid-round delivers its message to some
+//! peers and a tombstone to the rest, so naive "everything I saw" unions
+//! diverge. Round-1 failure observations are safe to commit because round
+//! 2 floods them to everyone. A failure first observed **in round 2** has
+//! no later round to flood through — some peers received the crasher's
+//! round-2 message instead and would disagree — so it is deliberately
+//! left uncommitted; the next pass deterministically re-observes it (the
+//! dead rank's tombstone is persistent) and commits it then.
+
+use crate::common::{PassResult, RankCtx};
+use armine_core::Transaction;
+use armine_mpsim::{Comm, RecvFault};
+use std::collections::BTreeSet;
+
+/// Scope-id namespace for the membership-sync rounds (epoch-shifted by
+/// [`RankCtx::scope_id`], so retries never cross-deliver).
+const SCOPE_SYNC: u64 = 1 << 38;
+/// Tags for the two flooding rounds.
+const TAG_SYNC_R1: u64 = 1 << 21;
+const TAG_SYNC_R2: u64 = (1 << 21) | 1;
+
+/// What the membership sync agreed on at a pass boundary.
+pub(crate) struct SyncOutcome {
+    /// Ranks every survivor commits as dead (ascending).
+    pub dead: BTreeSet<usize>,
+    /// Whether any member aborted the attempt — if so, the pass is
+    /// re-executed under the shrunken membership.
+    pub any_abort: bool,
+}
+
+/// A contiguous slice `[start, end)` of one original database partition —
+/// the unit of data placement tracked for recovery.
+pub(crate) type Holding = (usize, usize, usize);
+
+/// The initial placement: rank `r` holds all of partition `r`.
+pub(crate) fn initial_holdings(parts: &[Vec<Transaction>]) -> Vec<Vec<Holding>> {
+    parts
+        .iter()
+        .enumerate()
+        .map(|(r, p)| vec![(r, 0, p.len())])
+        .collect()
+}
+
+/// Two-round membership sync at a pass boundary. Every member floods
+/// `(aborted?, dead-ranks-observed)` words; a failed attempt first sends
+/// abort notifications so peers still blocked inside the pass fail their
+/// receives and join the sync instead of waiting forever.
+///
+/// Deterministic and symmetric: all survivors return the same outcome.
+pub(crate) fn pass_sync(
+    comm: &mut Comm,
+    ctx: &RankCtx,
+    attempt: &Result<PassResult, RecvFault>,
+) -> SyncOutcome {
+    let mut dead: BTreeSet<usize> = BTreeSet::new();
+    let mut any_abort = attempt.is_err();
+    if let Err(RecvFault::Dead { rank, .. }) = attempt {
+        dead.insert(*rank);
+    }
+    if attempt.is_err() {
+        let me = comm.rank();
+        let peers: Vec<usize> = ctx.members.iter().copied().filter(|&r| r != me).collect();
+        comm.send_abort(&peers, ctx.epoch);
+    }
+
+    // Round 1: everyone reports its own attempt outcome. Receive failures
+    // here are safe to commit — round 2 floods them to every survivor.
+    let (union, abort, failures) = exchange_round(comm, ctx, TAG_SYNC_R1, any_abort, &dead);
+    dead.extend(union);
+    dead.extend(failures);
+    any_abort |= abort;
+
+    // Round 2: flood the round-1 union. Receive failures observed only
+    // here are NOT committed (see module docs); the crash is re-observed
+    // and committed at the next pass boundary.
+    let (union, abort, _round2_failures) = exchange_round(comm, ctx, TAG_SYNC_R2, any_abort, &dead);
+    dead.extend(union);
+    any_abort |= abort;
+
+    SyncOutcome { dead, any_abort }
+}
+
+/// One sync round: send `(abort, dead)` to every other member, then
+/// receive each member's word. Returns the union of received dead sets,
+/// the OR of received abort flags, and the set of members whose word
+/// could not be received (they are dead).
+fn exchange_round(
+    comm: &mut Comm,
+    ctx: &RankCtx,
+    tag: u64,
+    any_abort: bool,
+    dead: &BTreeSet<usize>,
+) -> (BTreeSet<usize>, bool, BTreeSet<usize>) {
+    let mut scope = comm.scope(ctx.scope_id(SCOPE_SYNC), ctx.members.clone());
+    let me = scope.rank();
+    let word: Vec<u64> = std::iter::once(any_abort as u64)
+        .chain(dead.iter().map(|&r| r as u64))
+        .collect();
+    let bytes = 8 + 8 * word.len();
+    for peer in 0..scope.size() {
+        if peer != me {
+            scope.send(peer, tag, word.clone(), bytes);
+        }
+    }
+    let mut union = BTreeSet::new();
+    let mut abort = false;
+    let mut failures = BTreeSet::new();
+    for peer in 0..scope.size() {
+        if peer == me {
+            continue;
+        }
+        // Sync receives ignore abort notifications: an aborting member
+        // still participates in the sync, only a dead one cannot.
+        match scope.try_recv_sync::<Vec<u64>>(peer, tag) {
+            Ok(w) => {
+                abort |= w[0] != 0;
+                union.extend(w[1..].iter().map(|&r| r as usize));
+            }
+            Err(fault) => {
+                failures.insert(fault.rank());
+            }
+        }
+    }
+    (union, abort, failures)
+}
+
+/// Commits a shrunken membership: the dead ranks' holdings are split
+/// contiguously among the survivors (identically computed everywhere),
+/// each survivor re-reads its newly adopted transactions from stable
+/// storage (an I/O charge — the database partitions outlive their rank),
+/// and the rank context is rebuilt for the next attempt.
+pub(crate) fn adopt(
+    comm: &mut Comm,
+    ctx: &mut RankCtx,
+    holdings: &mut [Vec<Holding>],
+    parts: &[Vec<Transaction>],
+    dead: &BTreeSet<usize>,
+) {
+    let me = comm.rank();
+    let survivors: Vec<usize> = ctx
+        .members
+        .iter()
+        .copied()
+        .filter(|r| !dead.contains(r))
+        .collect();
+    debug_assert!(survivors.contains(&me), "a dead rank cannot recover");
+    let kept = holdings[me].len();
+    for &d in dead {
+        debug_assert!(ctx.members.contains(&d), "committed dead ranks are members");
+        let freed = std::mem::take(&mut holdings[d]);
+        let total: usize = freed.iter().map(|&(_, lo, hi)| hi - lo).sum();
+        for (i, &sv) in survivors.iter().enumerate() {
+            let a = i * total / survivors.len();
+            let b = (i + 1) * total / survivors.len();
+            if b > a {
+                holdings[sv].extend(slice_ranges(&freed, a, b));
+            }
+        }
+    }
+    let adopted_bytes: usize = holdings[me][kept..]
+        .iter()
+        .map(|&(p, lo, hi)| {
+            parts[p][lo..hi]
+                .iter()
+                .map(Transaction::wire_size)
+                .sum::<usize>()
+        })
+        .sum();
+    if adopted_bytes > 0 {
+        comm.charge_io(adopted_bytes);
+    }
+    ctx.local = holdings[me]
+        .iter()
+        .flat_map(|&(p, lo, hi)| parts[p][lo..hi].iter().cloned())
+        .collect();
+    ctx.members = survivors;
+    ctx.my_index = ctx
+        .members
+        .iter()
+        .position(|&r| r == me)
+        .expect("survivor stays a member");
+    comm.note_recovery();
+}
+
+/// The sub-ranges of `ranges` (a logical concatenation) covering the
+/// half-open interval `[a, b)` of its combined length.
+fn slice_ranges(ranges: &[Holding], a: usize, b: usize) -> Vec<Holding> {
+    let mut out = Vec::new();
+    let mut offset = 0;
+    for &(p, lo, hi) in ranges {
+        let len = hi - lo;
+        let start = a.clamp(offset, offset + len);
+        let end = b.clamp(offset, offset + len);
+        if end > start {
+            out.push((p, lo + (start - offset), lo + (end - offset)));
+        }
+        offset += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_ranges_spans_boundaries() {
+        let ranges = vec![(0, 0, 4), (2, 10, 13)]; // lengths 4 + 3
+        assert_eq!(slice_ranges(&ranges, 0, 7), ranges);
+        assert_eq!(slice_ranges(&ranges, 0, 2), vec![(0, 0, 2)]);
+        assert_eq!(slice_ranges(&ranges, 3, 5), vec![(0, 3, 4), (2, 10, 11)]);
+        assert_eq!(slice_ranges(&ranges, 4, 7), vec![(2, 10, 13)]);
+        assert!(slice_ranges(&ranges, 5, 5).is_empty());
+    }
+
+    #[test]
+    fn initial_holdings_map_rank_to_partition() {
+        let parts = vec![
+            vec![Transaction::new(0, vec![])],
+            vec![Transaction::new(1, vec![]), Transaction::new(2, vec![])],
+        ];
+        assert_eq!(
+            initial_holdings(&parts),
+            vec![vec![(0, 0, 1)], vec![(1, 0, 2)]]
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! `f64` times are compared through their exact bit patterns.
 
 use armine_datagen::QuestParams;
+use armine_mpsim::{CrashPoint, FaultPlan};
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams, ParallelRun};
 
 const PROCS: usize = 8;
@@ -138,7 +139,79 @@ fn hd_virtual_time_is_invariant() {
     );
 }
 
+/// The fixed plan behind the faulted goldens: message drops, a 1.5×
+/// straggler, and a pass-boundary crash — all deterministic from the
+/// seed, so a faulted run is just as reproducible as a clean one.
+fn golden_plan() -> FaultPlan {
+    FaultPlan::new()
+        .seed(13)
+        .drop_rate(0.05)
+        .slowdown(2, 1.5)
+        .crash(5, CrashPoint::AtPass(3))
+}
+
+/// The clean fingerprint plus per-rank fault counters
+/// (`retransmits/timeouts/recoveries`): a faulted run under a fixed seed
+/// and plan must reproduce its virtual clocks *and* its fault history.
+fn fingerprint_faulted(run: &ParallelRun) -> String {
+    let faults: Vec<String> = run
+        .ranks
+        .iter()
+        .map(|r| format!("{}/{}/{}", r.retransmits, r.timeouts, r.recoveries))
+        .collect();
+    format!("{} faults=[{}]", fingerprint(run), faults.join(","))
+}
+
+fn check_faulted(algorithm: Algorithm, golden: &str) {
+    let run = ParallelMiner::new(PROCS)
+        .mine_with_faults(algorithm, &dataset(), &params(), Some(&golden_plan()))
+        .expect("the golden plan is recoverable");
+    let got = fingerprint_faulted(&run);
+    assert_eq!(
+        got,
+        golden,
+        "{} faulted fingerprint drifted",
+        algorithm.name()
+    );
+}
+
+/// Regenerates the faulted golden strings:
+/// `cargo test --test virtual_time_invariance -- --ignored --nocapture`.
+#[test]
+#[ignore = "prints fresh faulted goldens; run manually when the fault model changes"]
+fn capture_faulted_goldens() {
+    for (name, algorithm) in [
+        ("CD_FAULTED", Algorithm::Cd),
+        (
+            "HD_FAULTED",
+            Algorithm::Hd {
+                group_threshold: 200,
+            },
+        ),
+    ] {
+        let run = ParallelMiner::new(PROCS)
+            .mine_with_faults(algorithm, &dataset(), &params(), Some(&golden_plan()))
+            .expect("the golden plan is recoverable");
+        println!("GOLDEN_{name} {}", fingerprint_faulted(&run));
+    }
+}
+
 #[test]
 fn hpa_virtual_time_is_invariant() {
     check(Algorithm::Hpa { eld_permille: 0 }, "rt=3fb59300fd409a2f passes=[3f336b811ef1c2de,3f70599518ba3073,3f9695edcdd5469a,3fada9016e41677d] bytes=[1862872,1664972,1763608,1806236,2120608,2487572,1938036,2041300] lattice=1d64cdddd93871a9 nfreq=25507");
+}
+
+#[test]
+fn cd_faulted_virtual_time_is_invariant() {
+    check_faulted(Algorithm::Cd, "rt=3fd3362d155ad0a7 passes=[3f53dc2a88f6639e,3f8dcf6ad925acca,3fc2bcbba2755ba1,3fc1aaef859bfe19] bytes=[540528,551744,562968,574200,585408,25520,518128,529312] lattice=1d64cdddd93871a9 nfreq=25507 faults=[3/2/1,5/2/1,2/2/1,8/2/1,3/2/1,3/0/0,4/3/1,13/2/1]");
+}
+
+#[test]
+fn hd_faulted_virtual_time_is_invariant() {
+    check_faulted(
+        Algorithm::Hd {
+            group_threshold: 200,
+        },
+        "rt=3fc6ca01520586d9 passes=[3f53dc2a88f6639e,3f8528a564d0f028,3fb2e6e4972535d0,3fb7b898b627e04f] bytes=[531476,561992,606984,558024,570336,45408,608776,609260] lattice=1d64cdddd93871a9 nfreq=25507 faults=[4/2/1,10/2/1,7/2/1,10/2/1,7/2/1,7/0/0,7/3/1,16/2/1]",
+    );
 }
