@@ -995,3 +995,28 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod race_probe {
+    use super::*;
+    use crate::{CrashPoint, FaultPlan, Topology};
+
+    #[test]
+    fn send_to_exited_crashed_rank() {
+        let r = Simulator::new(2)
+            .machine(MachineProfile::ideal())
+            .topology(Topology::FullyConnected)
+            .fault_plan(FaultPlan::new().crash(1, CrashPoint::AtTime(0.0)))
+            .run_with_faults(|comm| {
+                if comm.rank() == 1 {
+                    comm.advance(1.0);
+                    unreachable!();
+                }
+                // Ensure rank 1's thread has really exited (receiver dropped).
+                std::thread::sleep(std::time::Duration::from_millis(300));
+                comm.world().send(1, 7, 42u64, 8);
+                comm.world().try_recv::<u64>(1, 8)
+            });
+        assert!(r.results[0].as_ref().unwrap().is_err());
+    }
+}
