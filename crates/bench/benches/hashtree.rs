@@ -80,7 +80,7 @@ fn bench_trie_vs_tree(c: &mut Criterion) {
     });
     group.bench_function("prefix_trie_count_200tx", |b| {
         let mut trie = CandidateTrie::build(3, cands.clone());
-        b.iter(|| trie.count_all(std::hint::black_box(&txs)));
+        b.iter(|| trie.count_all(std::hint::black_box(&txs), &OwnershipFilter::all()));
     });
     group.finish();
 }

@@ -1,0 +1,6 @@
+//! Candidate-structure comparison: hash tree vs candidate trie across the
+//! CandidateCounter seam, on replicated (CD) and partitioned (IDD) passes.
+use armine_bench::experiments::{emit, structures};
+fn main() {
+    emit(&structures::run(), "structures");
+}

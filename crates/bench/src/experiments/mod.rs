@@ -15,6 +15,7 @@
 //! | [`model::run`] | Eq 1–2 | — (analysis) | closed form vs MC vs measured |
 //! | [`imbalance::run`] | §III-C quote | 4p: 1.3%→5.4%; 8p: 2.3%→9.4% | same metrics |
 //! | [`hpa_comm::run`] | §III-E claim | HPA comm volume vs IDD, by k | extension: HPA implemented |
+//! | [`structures::run`] | — (extension) | hash tree vs trie behind the counter seam | CD+IDD, P ∈ {1,16,64} |
 
 pub mod ablation;
 pub mod breakdown;
@@ -29,6 +30,7 @@ pub mod hpa_comm;
 pub mod imbalance;
 pub mod model;
 pub mod pdm_prune;
+pub mod structures;
 pub mod table2;
 
 use crate::report::Table;

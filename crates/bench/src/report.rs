@@ -29,6 +29,11 @@ impl Table {
             .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
+    /// The rendered data rows (one `Vec<String>` per [`Table::row`] call).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

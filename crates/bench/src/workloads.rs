@@ -39,6 +39,21 @@ pub fn t15_i6_items(n: usize, num_items: u32, seed: u64) -> Dataset {
         .generate()
 }
 
+/// A `T10.I4` database with `n` transactions over [`NUM_ITEMS`] items —
+/// the lighter Quest workload used by the counting-structure comparison
+/// (shorter transactions keep the trie's merge-intersect walk and the
+/// hash tree's subset descent in the same op-count regime).
+pub fn t10_i4(n: usize, seed: u64) -> Dataset {
+    QuestParams::paper_t15_i6()
+        .avg_transaction_len(10.0)
+        .avg_pattern_len(4.0)
+        .num_transactions(n)
+        .num_items(NUM_ITEMS)
+        .num_patterns(120)
+        .seed(seed)
+        .generate()
+}
+
 /// Scaleup database: `per_proc` transactions for each of `procs`
 /// processors (the Figure 10/11 setup keeps work per processor constant
 /// as P grows).
@@ -56,6 +71,14 @@ mod tests {
         assert_eq!(d.len(), 400);
         let avg = d.avg_transaction_len();
         assert!(avg > 10.0 && avg < 18.0, "got {avg}");
+    }
+
+    #[test]
+    fn t10_shape() {
+        let d = t10_i4(400, 1);
+        assert_eq!(d.len(), 400);
+        let avg = d.avg_transaction_len();
+        assert!(avg > 6.0 && avg < 13.0, "got {avg}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::args::{ArgError, Args};
 use armine_core::apriori::{Apriori, AprioriParams, MinSupport};
+use armine_core::counter::CounterBackend;
 use armine_core::io::{read_transactions_auto, write_transactions_binary, write_transactions_file};
 use armine_core::model::{
     cd_time, dd_time, hd_beats_cd_window, hd_time, idd_time, serial_time, CostParams, Workload,
@@ -25,10 +26,12 @@ USAGE:
                   [--avg-len T] [--pattern-len I] [--seed S] [--format text|binary]
   armine mine     --input FILE --min-support FRAC [--min-count N]
                   [--max-k K] [--rules MIN_CONF] [--top N]
+                  [--counter hashtree|trie]
   armine parallel --input FILE --algorithm ALGO --procs P --min-support FRAC
                   [--machine t3e|sp2|ideal] [--group-threshold M]
                   [--page-size N] [--memory-capacity N] [--max-k K]
                   [--eld-permille N] [--buckets B] [--filter-passes N]
+                  [--counter hashtree|trie]
                   [--fault-plan FILE]   (see experiments/faults/*.plan)
   armine model    --n N --m M --c C --s S --procs P [--g G] [--machine t3e|sp2]
   armine stats    --input FILE [--top N]
@@ -106,12 +109,14 @@ fn cmd_mine(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>> {
     let max_k: Option<usize> = args.optional("max-k")?;
     let rules_conf: Option<f64> = args.optional("rules")?;
     let top: usize = args.or_default("top", 20)?;
+    let counter = parse_counter(args)?;
     args.finish()?;
 
     let dataset = read_transactions_auto(&input)?;
     let mut params = AprioriParams::with_min_support_count(0);
     params.min_support = support;
     params.max_k = max_k;
+    params.counter = counter;
     let started = std::time::Instant::now();
     let run = Apriori::new(params).mine(dataset.transactions());
     writeln!(
@@ -178,6 +183,12 @@ fn parse_algorithm(args: &Args) -> Result<Algorithm, ArgError> {
     })
 }
 
+fn parse_counter(args: &Args) -> Result<CounterBackend, ArgError> {
+    let name: String = args.or_default("counter", "hashtree".into())?;
+    CounterBackend::parse(&name)
+        .ok_or_else(|| ArgError(format!("unknown counter backend {name:?}")))
+}
+
 fn parse_machine(args: &Args) -> Result<MachineProfile, ArgError> {
     Ok(
         match args.or_default::<String>("machine", "t3e".into())?.as_str() {
@@ -200,6 +211,7 @@ fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>>
     params.page_size = args.or_default("page-size", 1000)?;
     params.max_k = args.optional("max-k")?;
     params.memory_capacity = args.optional("memory-capacity")?;
+    params.counter = parse_counter(args)?;
     let plan_path: Option<String> = args.optional("fault-plan")?;
     args.finish()?;
     let plan = match &plan_path {
@@ -487,6 +499,78 @@ mod tests {
             "cray-3",
         ])
         .contains("cray-3"));
+    }
+
+    #[test]
+    fn counter_backend_selects_and_rejects() {
+        let db = temp("counter.txt");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "120",
+            "--items",
+            "40",
+            "--patterns",
+            "10",
+            "--seed",
+            "11",
+        ]);
+        // Both subcommands accept the trie backend end-to-end.
+        let o = run_ok(&[
+            "mine",
+            "--input",
+            &db,
+            "--min-count",
+            "4",
+            "--max-k",
+            "3",
+            "--counter",
+            "trie",
+        ]);
+        assert!(o.contains("frequent itemsets"));
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "idd",
+            "--procs",
+            "3",
+            "--min-count",
+            "4",
+            "--max-k",
+            "3",
+            "--counter",
+            "trie",
+        ]);
+        assert!(o.contains("IDD on 3 simulated"));
+        // Unknown backends are rejected by both subcommands.
+        assert!(run_err(&[
+            "mine",
+            "--input",
+            &db,
+            "--min-count",
+            "4",
+            "--counter",
+            "btree"
+        ])
+        .contains("btree"));
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "4",
+            "--counter",
+            "btree",
+        ])
+        .contains("btree"));
     }
 
     #[test]

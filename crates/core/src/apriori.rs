@@ -11,7 +11,8 @@
 //! "unscalable with respect to the increasing size of candidate set" and
 //! that Figure 12 measures.
 
-use crate::hashtree::{HashTree, HashTreeParams, OwnershipFilter, TreeStats};
+use crate::counter::CounterBackend;
+use crate::hashtree::{HashTreeParams, OwnershipFilter, TreeStats};
 use crate::item::Item;
 use crate::itemset::ItemSet;
 use crate::transaction::Transaction;
@@ -49,8 +50,11 @@ impl MinSupport {
 pub struct AprioriParams {
     /// Minimum support threshold.
     pub min_support: MinSupport,
-    /// Hash-tree shape (fan-out and leaf capacity).
+    /// Hash-tree shape (fan-out and leaf capacity). Ignored by the trie
+    /// backend.
     pub tree: HashTreeParams,
+    /// Which counting structure counts the candidates of each pass.
+    pub counter: CounterBackend,
     /// Maximum candidates a single in-memory hash tree may hold. `None`
     /// means unlimited. When `|C_k|` exceeds this, the pass partitions the
     /// candidates and scans the database once per partition.
@@ -65,6 +69,7 @@ impl AprioriParams {
         AprioriParams {
             min_support: MinSupport::Count(count),
             tree: HashTreeParams::default(),
+            counter: CounterBackend::default(),
             memory_capacity: None,
             max_k: None,
         }
@@ -75,6 +80,7 @@ impl AprioriParams {
         AprioriParams {
             min_support: MinSupport::Fraction(fraction),
             tree: HashTreeParams::default(),
+            counter: CounterBackend::default(),
             memory_capacity: None,
             max_k: None,
         }
@@ -83,6 +89,12 @@ impl AprioriParams {
     /// Sets the hash-tree shape.
     pub fn tree(mut self, tree: HashTreeParams) -> Self {
         self.tree = tree;
+        self
+    }
+
+    /// Selects the candidate-counting backend.
+    pub fn counter(mut self, counter: CounterBackend) -> Self {
+        self.counter = counter;
         self
     }
 
@@ -198,7 +210,7 @@ pub struct PassInfo {
     pub frequent: usize,
     /// Database scans this pass (1 unless memory-capped).
     pub db_scans: usize,
-    /// Hash-tree work counters, summed over all tree partitions.
+    /// Counting-structure work counters, summed over all partitions.
     pub tree_stats: TreeStats,
 }
 
@@ -288,6 +300,7 @@ impl Apriori {
                 candidates,
                 transactions,
                 min_count,
+                self.params.counter,
                 self.params.tree,
                 self.params.memory_capacity,
             );
@@ -332,14 +345,17 @@ fn frequent_singletons(transactions: &[Transaction], min_count: u64) -> Pass1 {
     }
 }
 
-/// Counts `candidates` over `transactions` with hash trees, partitioning
-/// the candidate set when it exceeds `memory_capacity` (one database scan
-/// per partition). Returns the frequent level and the pass accounting.
+/// Counts `candidates` over `transactions` with the selected
+/// [`CounterBackend`], partitioning the candidate set when it exceeds
+/// `memory_capacity` (one database scan per partition). Returns the
+/// frequent level and the pass accounting; an empty candidate set scans
+/// the database zero times.
 pub fn count_candidates(
     k: usize,
     candidates: Vec<ItemSet>,
     transactions: &[Transaction],
     min_count: u64,
+    backend: CounterBackend,
     tree_params: HashTreeParams,
     memory_capacity: Option<usize>,
 ) -> (Vec<(ItemSet, u64)>, PassInfo) {
@@ -351,10 +367,10 @@ pub fn count_candidates(
     let mut idx = 0;
     while idx < total {
         let end = (idx + chunk).min(total);
-        let mut tree = HashTree::build(k, tree_params, candidates[idx..end].to_vec());
-        tree.count_all(transactions, &OwnershipFilter::all());
-        stats = stats.merged(tree.stats());
-        level.extend(tree.frequent(min_count));
+        let mut counter = backend.build(k, tree_params, candidates[idx..end].to_vec());
+        counter.count_all(transactions, &OwnershipFilter::all());
+        stats = stats.merged(&counter.stats());
+        level.extend(counter.frequent(min_count));
         scans += 1;
         idx = end;
     }
@@ -362,7 +378,7 @@ pub fn count_candidates(
         k,
         candidates: total,
         frequent: level.len(),
-        db_scans: scans.max(1),
+        db_scans: scans,
         tree_stats: stats,
     };
     (level, info)
@@ -649,6 +665,49 @@ mod tests {
         let run = Apriori::new(AprioriParams::with_min_support_count(1)).mine(&[]);
         assert!(run.frequent.is_empty());
         assert_eq!(run.frequent.max_len(), 0);
+    }
+
+    #[test]
+    fn zero_candidates_report_zero_db_scans() {
+        let d = table1();
+        let (level, info) = count_candidates(
+            2,
+            Vec::new(),
+            d.transactions(),
+            1,
+            CounterBackend::default(),
+            HashTreeParams::default(),
+            None,
+        );
+        assert!(level.is_empty());
+        assert_eq!(info.candidates, 0);
+        assert_eq!(info.db_scans, 0, "no candidates means no scan ran");
+    }
+
+    #[test]
+    fn trie_backend_mines_identical_lattice() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let transactions: Vec<Transaction> = (0..80)
+            .map(|tid| {
+                let len = rng.gen_range(2..=10);
+                let items: Vec<Item> = (0..len).map(|_| Item(rng.gen_range(0..18))).collect();
+                Transaction::new(tid, items)
+            })
+            .collect();
+        let base = AprioriParams::with_min_support_count(4);
+        let tree_run = Apriori::new(base).mine(&transactions);
+        let trie_run = Apriori::new(base.counter(CounterBackend::Trie)).mine(&transactions);
+        let a: Vec<_> = tree_run.frequent.iter().collect();
+        let b: Vec<_> = trie_run.frequent.iter().collect();
+        assert_eq!(a, b);
+        // Per-pass bookkeeping (candidates, frequent, scans) also agrees.
+        for (x, y) in tree_run.passes.iter().zip(&trie_run.passes) {
+            assert_eq!(
+                (x.k, x.candidates, x.frequent, x.db_scans),
+                (y.k, y.candidates, y.frequent, y.db_scans)
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::apriori::{
     apriori_gen, count_candidates, FrequentItemsets, MinSupport, MiningRun, PassInfo,
 };
 use crate::bitmap::ItemBitmap;
+use crate::counter::CounterBackend;
 use crate::hashtree::HashTreeParams;
 use crate::item::Item;
 use crate::itemset::ItemSet;
@@ -106,8 +107,11 @@ impl HashFilter {
 pub struct DhpParams {
     /// Minimum support threshold.
     pub min_support: MinSupport,
-    /// Hash-tree shape for the counting passes.
+    /// Hash-tree shape for the counting passes. Ignored by the trie
+    /// backend.
     pub tree: HashTreeParams,
+    /// Which counting structure counts each pass's candidates.
+    pub counter: CounterBackend,
     /// Buckets in each pass's hash filter.
     pub buckets: usize,
     /// Build hash filters for passes `2..=1+hash_filter_passes` (the
@@ -126,6 +130,7 @@ impl DhpParams {
         DhpParams {
             min_support: MinSupport::Fraction(fraction),
             tree: HashTreeParams::default(),
+            counter: CounterBackend::default(),
             buckets: 1 << 15,
             hash_filter_passes: 2,
             trim: true,
@@ -139,6 +144,12 @@ impl DhpParams {
             min_support: MinSupport::Count(count),
             ..Self::with_min_support(0.0)
         }
+    }
+
+    /// Selects the candidate-counting backend.
+    pub fn counter(mut self, counter: CounterBackend) -> Self {
+        self.counter = counter;
+        self
     }
 
     /// Sets the bucket count.
@@ -319,8 +330,15 @@ impl Dhp {
                     }
                 }
             }
-            let (level, info) =
-                count_candidates(k, candidates, &db, min_count, self.params.tree, None);
+            let (level, info) = count_candidates(
+                k,
+                candidates,
+                &db,
+                min_count,
+                self.params.counter,
+                self.params.tree,
+                None,
+            );
             out.dhp_passes.push(DhpPassInfo {
                 apriori_candidates: apriori_count,
                 candidates: info.candidates,

@@ -1,92 +1,8 @@
 //! Work counters for the hash tree.
 //!
-//! These counters are the bridge between the real execution and the
-//! analytical model of Section IV: `traversal_steps` accrues `t_travers`
-//! units, `distinct_leaf_visits` accrues `t_check` units, and `inserts`
-//! accrues tree-construction units. Figure 11 plots
-//! `distinct_leaf_visits / transactions` directly.
+//! The counter definition now lives in [`crate::counter`] — the same six
+//! fields serve every [`CandidateCounter`](crate::counter::CandidateCounter)
+//! backend — and is re-exported here under its historical name so
+//! `hashtree::TreeStats` keeps working everywhere.
 
-/// Accumulated work counters of a [`HashTree`](super::HashTree).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct TreeStats {
-    /// Candidate insertions (tree-construction work, the `O(M)` term).
-    pub inserts: u64,
-    /// Transactions processed through `subset`.
-    pub transactions: u64,
-    /// Starting items processed at the root (after bitmap filtering) — the
-    /// quantity IDD's filter reduces by roughly a factor of `P`.
-    pub root_starts: u64,
-    /// Hash descents into existing children (`t_travers` units; the model's
-    /// `C` per transaction).
-    pub traversal_steps: u64,
-    /// Distinct leaf nodes visited, counted once per (transaction, leaf) —
-    /// the model's `V(i, j)`, `t_check` units.
-    pub distinct_leaf_visits: u64,
-    /// Individual candidate-vs-transaction comparisons performed at leaves.
-    pub candidate_checks: u64,
-}
-
-impl TreeStats {
-    /// Average distinct leaves visited per transaction — the y-axis of
-    /// Figure 11.
-    pub fn avg_leaf_visits_per_transaction(&self) -> f64 {
-        if self.transactions == 0 {
-            0.0
-        } else {
-            self.distinct_leaf_visits as f64 / self.transactions as f64
-        }
-    }
-
-    /// Element-wise sum, used when aggregating per-pass or per-processor
-    /// stats.
-    pub fn merged(&self, other: &TreeStats) -> TreeStats {
-        TreeStats {
-            inserts: self.inserts + other.inserts,
-            transactions: self.transactions + other.transactions,
-            root_starts: self.root_starts + other.root_starts,
-            traversal_steps: self.traversal_steps + other.traversal_steps,
-            distinct_leaf_visits: self.distinct_leaf_visits + other.distinct_leaf_visits,
-            candidate_checks: self.candidate_checks + other.candidate_checks,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn avg_leaf_visits_handles_zero_transactions() {
-        assert_eq!(TreeStats::default().avg_leaf_visits_per_transaction(), 0.0);
-    }
-
-    #[test]
-    fn avg_leaf_visits_divides() {
-        let s = TreeStats {
-            transactions: 4,
-            distinct_leaf_visits: 10,
-            ..Default::default()
-        };
-        assert!((s.avg_leaf_visits_per_transaction() - 2.5).abs() < 1e-12);
-    }
-
-    #[test]
-    fn merged_sums_fields() {
-        let a = TreeStats {
-            inserts: 1,
-            transactions: 2,
-            root_starts: 3,
-            traversal_steps: 4,
-            distinct_leaf_visits: 5,
-            candidate_checks: 6,
-        };
-        let b = a;
-        let m = a.merged(&b);
-        assert_eq!(m.inserts, 2);
-        assert_eq!(m.transactions, 4);
-        assert_eq!(m.root_starts, 6);
-        assert_eq!(m.traversal_steps, 8);
-        assert_eq!(m.distinct_leaf_visits, 10);
-        assert_eq!(m.candidate_checks, 12);
-    }
-}
+pub use crate::counter::CounterStats as TreeStats;

@@ -14,6 +14,10 @@
 //!   `subset` operation, leaf splitting, per-transaction distinct-leaf-visit
 //!   accounting, and the first-item bitmap root filter used by IDD
 //!   (Sections II and III-C).
+//! - [`counter`] — the pluggable candidate-counting seam: the
+//!   [`CandidateCounter`](counter::CandidateCounter) trait, the
+//!   structure-agnostic work ledger, and the backend knob selecting the
+//!   hash tree or the [`trie::CandidateTrie`].
 //! - [`apriori`] — `apriori_gen` (join + prune) and the multi-pass mining
 //!   loop, including the memory-capped mode that partitions the hash tree
 //!   and rescans the database (the behaviour Figure 12 exercises).
@@ -46,6 +50,7 @@
 pub mod apriori;
 pub mod binpack;
 pub mod bitmap;
+pub mod counter;
 pub mod dataset;
 pub mod dhp;
 pub mod hashtree;

@@ -9,11 +9,16 @@
 //! transaction, and no revisit bookkeeping — each candidate contained in
 //! the transaction is reached by exactly one path.
 //!
-//! Provided here as an independent counting oracle (tested equivalent to
-//! the hash tree) and for the `hashtree` bench's structure comparison.
-//! The parallel formulations keep the hash tree — that is what the paper
-//! models and instruments.
+//! The trie is a full [`CandidateCounter`](crate::counter::CandidateCounter)
+//! backend: it honors the [`OwnershipFilter`]'s root and second-level
+//! pruning (so IDD/HD partitioned counting works unchanged) and keeps the
+//! same six-field work ledger as the hash tree, mapping child descents to
+//! `traversal_steps` and depth-`k` node arrivals to
+//! `distinct_leaf_visits` so the virtual-time model can charge either
+//! structure through one expression.
 
+use crate::counter::CounterStats;
+use crate::hashtree::OwnershipFilter;
 use crate::item::Item;
 use crate::itemset::ItemSet;
 use crate::transaction::Transaction;
@@ -31,10 +36,14 @@ struct TrieNode {
 ///
 /// ```
 /// use armine_core::trie::CandidateTrie;
+/// use armine_core::hashtree::OwnershipFilter;
 /// use armine_core::{ItemSet, Transaction, Item};
 ///
 /// let mut trie = CandidateTrie::build(2, vec![ItemSet::from([1, 3])]);
-/// trie.count(&Transaction::new(1, vec![Item(1), Item(2), Item(3)]));
+/// trie.count(
+///     &Transaction::new(1, vec![Item(1), Item(2), Item(3)]),
+///     &OwnershipFilter::all(),
+/// );
 /// assert_eq!(trie.count_of(&ItemSet::from([1, 3])), Some(1));
 /// ```
 #[derive(Debug, Clone)]
@@ -42,6 +51,7 @@ pub struct CandidateTrie {
     k: usize,
     nodes: Vec<TrieNode>,
     candidates: Vec<(ItemSet, u64)>,
+    stats: CounterStats,
 }
 
 impl CandidateTrie {
@@ -55,6 +65,7 @@ impl CandidateTrie {
             k,
             nodes: vec![TrieNode::default()],
             candidates: Vec::with_capacity(candidates.len()),
+            stats: CounterStats::default(),
         };
         for set in candidates {
             assert_eq!(set.len(), k, "candidate {set} has wrong size for k={k}");
@@ -64,6 +75,7 @@ impl CandidateTrie {
     }
 
     fn insert(&mut self, set: ItemSet) {
+        self.stats.inserts += 1;
         let mut node = 0u32;
         for &item in set.items() {
             let pos = self.nodes[node as usize]
@@ -86,6 +98,11 @@ impl CandidateTrie {
         }
     }
 
+    /// The candidate size this trie was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
     /// Number of candidates stored.
     pub fn num_candidates(&self) -> usize {
         self.candidates.len()
@@ -98,45 +115,31 @@ impl CandidateTrie {
 
     /// Counts the candidates contained in one transaction: a lockstep walk
     /// of the trie and the sorted item list — each contained candidate is
-    /// visited exactly once.
-    pub fn count(&mut self, t: &Transaction) {
-        if t.len() < self.k {
+    /// visited exactly once. The filter prunes first items at the root and
+    /// (first, second) pairs at depth 1, exactly like the hash tree's
+    /// `subset`.
+    pub fn count(&mut self, t: &Transaction, filter: &OwnershipFilter) {
+        if self.candidates.is_empty() {
             return;
         }
-        self.walk(0, t.items(), self.k);
+        self.stats.transactions += 1;
+        let items = t.items();
+        if items.len() < self.k {
+            return;
+        }
+        let mut walker = Walker {
+            nodes: &self.nodes,
+            counts: &mut self.candidates,
+            stats: &mut self.stats,
+            filter,
+        };
+        walker.walk(0, items, self.k, 0, Item(0));
     }
 
-    fn walk(&mut self, node: u32, suffix: &[Item], remaining: usize) {
-        if remaining == 0 {
-            if let Some(c) = self.nodes[node as usize].candidate {
-                self.candidates[c as usize].1 += 1;
-            }
-            return;
-        }
-        if suffix.len() < remaining {
-            return;
-        }
-        // Merge-intersect the child list with the transaction suffix.
-        let children = self.nodes[node as usize].children.clone();
-        let (mut ci, mut si) = (0usize, 0usize);
-        while ci < children.len() && si + remaining <= suffix.len() {
-            let (item, child) = children[ci];
-            match item.cmp(&suffix[si]) {
-                std::cmp::Ordering::Less => ci += 1,
-                std::cmp::Ordering::Greater => si += 1,
-                std::cmp::Ordering::Equal => {
-                    self.walk(child, &suffix[si + 1..], remaining - 1);
-                    ci += 1;
-                    si += 1;
-                }
-            }
-        }
-    }
-
-    /// Counts a whole batch.
-    pub fn count_all(&mut self, transactions: &[Transaction]) {
+    /// Counts a whole batch under one filter.
+    pub fn count_all(&mut self, transactions: &[Transaction], filter: &OwnershipFilter) {
         for t in transactions {
-            self.count(t);
+            self.count(t, filter);
         }
     }
 
@@ -153,6 +156,26 @@ impl CandidateTrie {
         self.candidates.iter().map(|(s, c)| (s, *c))
     }
 
+    /// Per-candidate counts in insertion order.
+    pub fn count_vector(&self) -> Vec<u64> {
+        self.candidates.iter().map(|&(_, c)| c).collect()
+    }
+
+    /// Overwrites the per-candidate counts (after a global reduction).
+    ///
+    /// # Panics
+    /// If the length differs from [`num_candidates`](Self::num_candidates).
+    pub fn set_count_vector(&mut self, counts: &[u64]) {
+        assert_eq!(
+            counts.len(),
+            self.candidates.len(),
+            "count vector length mismatch"
+        );
+        for (slot, &c) in self.candidates.iter_mut().zip(counts) {
+            slot.1 = c;
+        }
+    }
+
     /// Candidates with `count >= min_count`, insertion order.
     pub fn frequent(&self, min_count: u64) -> Vec<(ItemSet, u64)> {
         self.candidates
@@ -161,13 +184,89 @@ impl CandidateTrie {
             .cloned()
             .collect()
     }
+
+    /// The accumulated work counters.
+    pub fn stats(&self) -> &CounterStats {
+        &self.stats
+    }
+
+    /// Zeroes the work counters (candidate counts are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CounterStats::default();
+    }
+
+    /// Logical bytes the stored candidates occupy on the wire — the same
+    /// `|C| · (4k + 8)` accounting as the hash tree, since both ship the
+    /// identical candidate list.
+    pub fn wire_size(&self) -> usize {
+        self.candidates.len() * (4 * self.k + 8)
+    }
+}
+
+/// The recursive lockstep walk, split out so the node arena is borrowed
+/// shared while counts and stats are borrowed mutably (the old method
+/// recursion had to clone every child list to appease the borrow
+/// checker).
+struct Walker<'a> {
+    nodes: &'a [TrieNode],
+    counts: &'a mut [(ItemSet, u64)],
+    stats: &'a mut CounterStats,
+    filter: &'a OwnershipFilter,
+}
+
+impl Walker<'_> {
+    fn walk(&mut self, node: u32, suffix: &[Item], remaining: usize, depth: usize, first: Item) {
+        let nodes = self.nodes;
+        if remaining == 0 {
+            // A depth-k arrival: the trie's analogue of a distinct leaf
+            // visit (paths are unique, so it is distinct by construction).
+            self.stats.distinct_leaf_visits += 1;
+            if let Some(c) = nodes[node as usize].candidate {
+                self.stats.candidate_checks += 1;
+                self.counts[c as usize].1 += 1;
+            }
+            return;
+        }
+        if suffix.len() < remaining {
+            return;
+        }
+        // Merge-intersect the child list with the transaction suffix.
+        let children = &nodes[node as usize].children;
+        let (mut ci, mut si) = (0usize, 0usize);
+        while ci < children.len() && si + remaining <= suffix.len() {
+            let (item, child) = children[ci];
+            match item.cmp(&suffix[si]) {
+                std::cmp::Ordering::Less => ci += 1,
+                std::cmp::Ordering::Greater => si += 1,
+                std::cmp::Ordering::Equal => {
+                    let allowed = match depth {
+                        0 => self.filter.allows_root(item),
+                        1 => self.filter.allows_second(first, item),
+                        _ => true,
+                    };
+                    if allowed {
+                        if depth == 0 {
+                            self.stats.root_starts += 1;
+                        }
+                        self.stats.traversal_steps += 1;
+                        let start = if depth == 0 { item } else { first };
+                        self.walk(child, &suffix[si + 1..], remaining - 1, depth + 1, start);
+                    }
+                    ci += 1;
+                    si += 1;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hashtree::{HashTree, HashTreeParams, OwnershipFilter};
+    use crate::bitmap::ItemBitmap;
+    use crate::hashtree::{HashTree, HashTreeParams};
     use rand::prelude::*;
+    use std::collections::HashSet;
 
     fn set(ids: &[u32]) -> ItemSet {
         ItemSet::from(ids)
@@ -176,6 +275,8 @@ mod tests {
     fn tx(tid: u64, ids: &[u32]) -> Transaction {
         Transaction::new(tid, ids.iter().map(|&i| Item(i)).collect())
     }
+
+    const ALL: fn() -> OwnershipFilter = OwnershipFilter::all;
 
     #[test]
     fn counts_paper_example() {
@@ -186,7 +287,7 @@ mod tests {
             set(&[1, 4, 5]),
         ];
         let mut trie = CandidateTrie::build(3, cands);
-        trie.count(&tx(0, &[1, 2, 3, 5, 6]));
+        trie.count(&tx(0, &[1, 2, 3, 5, 6]), &ALL());
         assert_eq!(trie.count_of(&set(&[1, 2, 5])), Some(1));
         assert_eq!(trie.count_of(&set(&[1, 3, 6])), Some(1));
         assert_eq!(trie.count_of(&set(&[3, 5, 6])), Some(1));
@@ -217,9 +318,9 @@ mod tests {
                 })
                 .collect();
             let mut trie = CandidateTrie::build(k, cands.clone());
-            trie.count_all(&txs);
+            trie.count_all(&txs, &ALL());
             let mut tree = HashTree::build(k, HashTreeParams::default(), cands.clone());
-            tree.count_all(&txs, &OwnershipFilter::all());
+            tree.count_all(&txs, &ALL());
             for c in &cands {
                 assert_eq!(trie.count_of(c), tree.count_of(c), "candidate {c}");
             }
@@ -227,17 +328,96 @@ mod tests {
     }
 
     #[test]
+    fn first_item_filter_prunes_roots() {
+        let cands = vec![set(&[1, 2]), set(&[3, 4]), set(&[5, 6])];
+        let mut trie = CandidateTrie::build(2, cands);
+        // Own only first item 3: candidates starting at 1 or 5 must not
+        // be counted even though the transaction contains them.
+        let filter = OwnershipFilter::first_item(ItemBitmap::from_items(10, [Item(3)]));
+        trie.count(&tx(0, &[1, 2, 3, 4, 5, 6]), &filter);
+        assert_eq!(trie.count_of(&set(&[1, 2])), Some(0));
+        assert_eq!(trie.count_of(&set(&[3, 4])), Some(1));
+        assert_eq!(trie.count_of(&set(&[5, 6])), Some(0));
+        // Exactly one root start survived the bitmap.
+        assert_eq!(trie.stats().root_starts, 1);
+    }
+
+    #[test]
+    fn two_level_filter_prunes_second_items() {
+        let cands = vec![set(&[4, 5, 8]), set(&[4, 6, 8]), set(&[1, 2, 3])];
+        let mut trie = CandidateTrie::build(3, cands);
+        // Item 1 owned outright; item 4 split, owning only the (4, 5) pair.
+        let owned_first = ItemBitmap::from_items(10, [Item(1)]);
+        let pairs: HashSet<(Item, Item)> = [(Item(4), Item(5))].into_iter().collect();
+        let filter = OwnershipFilter::two_level(owned_first, pairs);
+        trie.count(&tx(0, &[1, 2, 3, 4, 5, 6, 8]), &filter);
+        assert_eq!(trie.count_of(&set(&[1, 2, 3])), Some(1));
+        assert_eq!(trie.count_of(&set(&[4, 5, 8])), Some(1));
+        assert_eq!(trie.count_of(&set(&[4, 6, 8])), Some(0));
+    }
+
+    #[test]
+    fn stats_ledger_accrues_and_resets() {
+        let mut trie = CandidateTrie::build(2, vec![set(&[1, 2]), set(&[1, 3])]);
+        assert_eq!(trie.stats().inserts, 2);
+        trie.count(&tx(0, &[1, 2, 3]), &ALL());
+        trie.count(&tx(1, &[9]), &ALL()); // short: counted as a transaction only
+        let s = *trie.stats();
+        assert_eq!(s.transactions, 2);
+        assert_eq!(s.root_starts, 1); // single descent from the root via item 1
+        assert_eq!(s.distinct_leaf_visits, 2); // {1,2} and {1,3} both reached
+        assert_eq!(s.candidate_checks, 2);
+        assert!(s.traversal_steps >= 3); // 1→2, 1→3 plus the root descent
+        trie.reset_stats();
+        assert_eq!(*trie.stats(), CounterStats::default());
+        // Counts survive a stats reset.
+        assert_eq!(trie.count_of(&set(&[1, 2])), Some(1));
+    }
+
+    #[test]
+    fn empty_trie_counts_no_transactions() {
+        let mut trie = CandidateTrie::build(2, Vec::new());
+        trie.count(&tx(0, &[1, 2, 3]), &ALL());
+        assert_eq!(trie.stats().transactions, 0);
+    }
+
+    #[test]
+    fn count_vector_round_trips() {
+        let mut trie = CandidateTrie::build(2, vec![set(&[1, 2]), set(&[2, 3])]);
+        trie.count_all(&[tx(0, &[1, 2]), tx(1, &[1, 2, 3])], &ALL());
+        assert_eq!(trie.count_vector(), vec![2, 1]);
+        trie.set_count_vector(&[7, 9]);
+        assert_eq!(trie.count_of(&set(&[1, 2])), Some(7));
+        assert_eq!(trie.count_of(&set(&[2, 3])), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "count vector length mismatch")]
+    fn count_vector_arity_checked() {
+        let mut trie = CandidateTrie::build(2, vec![set(&[1, 2])]);
+        trie.set_count_vector(&[1, 2]);
+    }
+
+    #[test]
+    fn wire_size_matches_hash_tree() {
+        let cands = vec![set(&[1, 2, 3]), set(&[1, 2, 4])];
+        let trie = CandidateTrie::build(3, cands.clone());
+        let tree = HashTree::build(3, HashTreeParams::default(), cands);
+        assert_eq!(trie.wire_size(), tree.wire_size());
+    }
+
+    #[test]
     fn duplicate_insert_is_idempotent() {
         let mut trie = CandidateTrie::build(2, vec![set(&[1, 2]), set(&[1, 2])]);
         assert_eq!(trie.num_candidates(), 1);
-        trie.count(&tx(0, &[1, 2, 3]));
+        trie.count(&tx(0, &[1, 2, 3]), &ALL());
         assert_eq!(trie.count_of(&set(&[1, 2])), Some(1));
     }
 
     #[test]
     fn frequent_filters() {
         let mut trie = CandidateTrie::build(1, vec![set(&[3]), set(&[7])]);
-        trie.count_all(&[tx(0, &[3]), tx(1, &[3, 7]), tx(2, &[3])]);
+        trie.count_all(&[tx(0, &[3]), tx(1, &[3, 7]), tx(2, &[3])], &ALL());
         assert_eq!(trie.frequent(3), vec![(set(&[3]), 3)]);
         assert_eq!(trie.frequent(1).len(), 2);
     }
@@ -245,7 +425,7 @@ mod tests {
     #[test]
     fn short_transactions_skipped() {
         let mut trie = CandidateTrie::build(3, vec![set(&[1, 2, 3])]);
-        trie.count(&tx(0, &[1, 2]));
+        trie.count(&tx(0, &[1, 2]), &ALL());
         assert_eq!(trie.count_of(&set(&[1, 2, 3])), Some(0));
     }
 

@@ -2,7 +2,7 @@
 //! collectives.
 
 use crate::fault::{FaultPlan, DECISION_DELAY, DECISION_DROP};
-use crate::machine::MachineProfile;
+use crate::machine::{CountingWork, MachineProfile};
 use crate::message::{Envelope, MatchKey, Packet};
 use crate::stats::RankStats;
 use crate::topology::Topology;
@@ -294,6 +294,15 @@ impl Comm {
         self.clock += seconds;
         self.stats.busy += seconds;
         self.maybe_crash();
+    }
+
+    /// Charges one batch of candidate-counting work, priced by the
+    /// machine profile's per-operation constants. Structure-agnostic:
+    /// whatever built the [`CountingWork`] ledger — hash tree, trie, or
+    /// any future backend — is charged through the same expression.
+    pub fn charge_counting(&mut self, work: &CountingWork) {
+        let m = self.machine;
+        self.advance(m.counting_time(work));
     }
 
     /// Charges I/O time for (re-)reading `bytes` from the database.

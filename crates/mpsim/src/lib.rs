@@ -11,7 +11,9 @@
 //! **virtual**: every rank carries a clock advanced by
 //!
 //! * explicit compute charges ([`Comm::advance`]) priced from counted
-//!   hash-tree operations,
+//!   counting-structure operations (batched through
+//!   [`Comm::charge_counting`] and a structure-agnostic [`CountingWork`]
+//!   ledger),
 //! * message costs under a postal model — per-message startup `t_s`,
 //!   per-byte link occupancy `t_w` at the sender, per-byte unload at the
 //!   single-ported receiver, and per-hop latency from the [`Topology`] —
@@ -62,7 +64,7 @@ mod trace;
 
 pub use comm::{Comm, RecvFault, RecvHandle, Scope, SendHandle};
 pub use fault::{CrashPoint, FaultPlan};
-pub use machine::MachineProfile;
+pub use machine::{CountingWork, MachineProfile};
 pub use runtime::{SimResult, Simulator};
 pub use stats::RankStats;
 pub use topology::Topology;

@@ -109,6 +109,42 @@ impl MachineProfile {
             1.0 / self.t_w / 1e6
         }
     }
+
+    /// Virtual seconds one batch of candidate-counting work costs on this
+    /// machine.
+    ///
+    /// The term order is load-bearing: it reproduces, addition for
+    /// addition, the expression the hash-tree charging path has always
+    /// used, so `f64` rounding — and therefore every virtual-time golden
+    /// fingerprint — is bit-identical to the pre-seam code.
+    pub fn counting_time(&self, work: &CountingWork) -> f64 {
+        work.inserts as f64 * self.t_insert
+            + work.transactions as f64 * self.t_trans
+            + work.traversal_steps as f64 * self.t_travers
+            + work.node_visits as f64 * self.t_leaf
+            + work.candidate_checks as f64 * self.t_check
+    }
+}
+
+/// One batch of candidate-counting work to charge to the virtual clock.
+///
+/// The simulator does not know (or care) which counting structure
+/// produced these numbers — a hash tree's hash descents and a trie's
+/// child-list matches both arrive as `traversal_steps`. The mining layer
+/// converts its structure-specific stats into this ledger and calls
+/// [`Comm::charge_counting`](crate::Comm::charge_counting).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingWork {
+    /// Candidate insertions (construction work, `t_insert` units).
+    pub inserts: u64,
+    /// Transactions processed (`t_trans` units).
+    pub transactions: u64,
+    /// Descents into the structure (`t_travers` units).
+    pub traversal_steps: u64,
+    /// Distinct terminal-node visits (`t_leaf` units).
+    pub node_visits: u64,
+    /// Candidate-vs-transaction comparisons (`t_check` units).
+    pub candidate_checks: u64,
 }
 
 #[cfg(test)]
@@ -138,5 +174,31 @@ mod tests {
         assert_eq!(m.t_s + m.t_w + m.t_hop, 0.0);
         assert!(m.bandwidth_mb_s().is_infinite());
         assert!(m.t_travers > 0.0, "compute still costs");
+    }
+
+    #[test]
+    fn counting_time_matches_handwritten_expression() {
+        let m = MachineProfile::cray_t3e();
+        let w = CountingWork {
+            inserts: 3,
+            transactions: 41,
+            traversal_steps: 1009,
+            node_visits: 127,
+            candidate_checks: 511,
+        };
+        // Exactly the term order the charging path has always used —
+        // compared through bits because that order is the contract.
+        let by_hand = w.inserts as f64 * m.t_insert
+            + w.transactions as f64 * m.t_trans
+            + w.traversal_steps as f64 * m.t_travers
+            + w.node_visits as f64 * m.t_leaf
+            + w.candidate_checks as f64 * m.t_check;
+        assert_eq!(m.counting_time(&w).to_bits(), by_hand.to_bits());
+    }
+
+    #[test]
+    fn counting_time_of_nothing_is_zero() {
+        let m = MachineProfile::ibm_sp2();
+        assert_eq!(m.counting_time(&CountingWork::default()), 0.0);
     }
 }

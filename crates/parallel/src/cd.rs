@@ -9,9 +9,10 @@
 //! per-processor memory capacity, partitions the tree and rescans the
 //! database once per partition (the Figure 12 penalty).
 
-use crate::common::{build_tree_charged, count_batch_charged, PassResult, RankCtx};
+use crate::common::{build_counter_charged, count_batch_charged, PassResult, RankCtx};
 use crate::config::ParallelParams;
-use armine_core::hashtree::TreeStats;
+use armine_core::counter::CounterStats;
+use armine_core::hashtree::OwnershipFilter;
 use armine_core::ItemSet;
 use armine_mpsim::{Comm, RecvFault};
 
@@ -27,17 +28,18 @@ pub(crate) fn count_pass(
     let total = candidates.len();
     let cap = params.memory_capacity.unwrap_or(usize::MAX).max(1);
     let mut level = Vec::new();
-    let mut stats = TreeStats::default();
+    let mut stats = CounterStats::default();
     let mut scans = 0usize;
     let mut idx = 0usize;
     let mut first_chunk = true;
     while idx < total {
         let end = (idx + cap).min(total);
-        // Replicated tree over this chunk. apriori_gen is charged once.
+        // Replicated counter over this chunk. apriori_gen is charged once.
         let gen_charge = if first_chunk { total } else { 0 };
-        let mut tree = build_tree_charged(
+        let mut counter = build_counter_charged(
             comm,
             k,
+            params.counter,
             params.tree,
             candidates[idx..end].to_vec(),
             gen_charge,
@@ -47,15 +49,15 @@ pub(crate) fn count_pass(
         comm.charge_io(ctx.local_bytes());
         stats = stats.merged(&count_batch_charged(
             comm,
-            &mut tree,
+            &mut *counter,
             &ctx.local,
-            &armine_core::hashtree::OwnershipFilter::all(),
+            &OwnershipFilter::all(),
         ));
         // Global reduction: sum the chunk's count vector across all ranks.
-        let mut counts = tree.count_vector();
+        let mut counts = counter.count_vector();
         ctx.world(comm).try_allreduce_sum_u64(&mut counts)?;
-        tree.set_count_vector(&counts);
-        level.extend(tree.frequent(ctx.min_count));
+        counter.set_count_vector(&counts);
+        level.extend(counter.frequent(ctx.min_count));
         scans += 1;
         idx = end;
     }

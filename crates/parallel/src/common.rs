@@ -3,9 +3,10 @@
 //! data movement of Figure 6.
 
 use armine_core::apriori::apriori_gen;
-use armine_core::hashtree::{HashTree, HashTreeParams, OwnershipFilter, TreeStats};
+use armine_core::counter::{CandidateCounter, CounterBackend, CounterStats};
+use armine_core::hashtree::{HashTreeParams, OwnershipFilter};
 use armine_core::{Item, ItemSet, Transaction};
-use armine_mpsim::{Comm, FaultPlan, RecvFault, Scope};
+use armine_mpsim::{Comm, CountingWork, FaultPlan, RecvFault, Scope};
 use std::sync::Arc;
 
 /// An immutable, shared page of transactions — the unit of data movement.
@@ -93,7 +94,7 @@ impl RankCtx {
 /// that establishes this).
 pub(crate) struct PassResult {
     pub level: Vec<(ItemSet, u64)>,
-    pub stats: TreeStats,
+    pub stats: CounterStats,
     pub db_scans: usize,
     pub grid: (usize, usize),
     pub candidate_imbalance: f64,
@@ -108,7 +109,7 @@ pub(crate) struct RankPass {
     pub candidates_total: usize,
     pub counted_candidates: usize,
     pub grid: (usize, usize),
-    pub stats: TreeStats,
+    pub stats: CounterStats,
     pub db_scans: usize,
     pub candidate_imbalance: f64,
     pub clock_end: f64,
@@ -120,51 +121,59 @@ pub(crate) struct RankOutput {
     pub passes: Vec<RankPass>,
 }
 
-/// Charges the clock for counted hash-tree work (everything except
-/// insertions, which [`build_tree_charged`] prices at build time).
-pub(crate) fn charge_tree_work(comm: &mut Comm, delta: &TreeStats) {
-    let m = *comm.machine();
-    comm.advance(
-        delta.inserts as f64 * m.t_insert
-            + delta.transactions as f64 * m.t_trans
-            + delta.traversal_steps as f64 * m.t_travers
-            + delta.distinct_leaf_visits as f64 * m.t_leaf
-            + delta.candidate_checks as f64 * m.t_check,
-    );
+/// Maps a backend's stats delta onto the simulator's structure-agnostic
+/// counting ledger. Field for field: the hash tree's distinct leaf visits
+/// and the trie's depth-`k` node arrivals both price as `node_visits`.
+fn as_counting_work(delta: &CounterStats) -> CountingWork {
+    CountingWork {
+        inserts: delta.inserts,
+        transactions: delta.transactions,
+        traversal_steps: delta.traversal_steps,
+        node_visits: delta.distinct_leaf_visits,
+        candidate_checks: delta.candidate_checks,
+    }
 }
 
-/// Builds a hash tree over `local_candidates`, charging `apriori_gen` work
-/// for the **full** candidate set (every processor regenerates all of
-/// `C_k` before keeping its share — Section III-C) plus insertion work for
-/// the local share only. Returns the tree with clean counters.
-pub(crate) fn build_tree_charged(
+/// Charges the clock for counted work (everything except insertions,
+/// which [`build_counter_charged`] prices at build time).
+pub(crate) fn charge_counting_work(comm: &mut Comm, delta: &CounterStats) {
+    comm.charge_counting(&as_counting_work(delta));
+}
+
+/// Builds the configured counting structure over `local_candidates`,
+/// charging `apriori_gen` work for the **full** candidate set (every
+/// processor regenerates all of `C_k` before keeping its share — Section
+/// III-C) plus insertion work for the local share only. Returns the
+/// counter with clean work counters.
+pub(crate) fn build_counter_charged(
     comm: &mut Comm,
     k: usize,
+    backend: CounterBackend,
     tree_params: HashTreeParams,
     local_candidates: Vec<ItemSet>,
     total_candidates: usize,
-) -> HashTree {
+) -> Box<dyn CandidateCounter> {
     let m = *comm.machine();
     comm.advance(total_candidates as f64 * m.t_gen);
-    let mut tree = HashTree::build(k, tree_params, local_candidates);
-    comm.advance(tree.stats().inserts as f64 * m.t_insert);
-    tree.reset_stats();
-    tree
+    let mut counter = backend.build(k, tree_params, local_candidates);
+    comm.advance(counter.stats().inserts as f64 * m.t_insert);
+    counter.reset_stats();
+    counter
 }
 
-/// Counts one batch of transactions through the tree, charges the clock
-/// for the work actually performed, and returns the counters (for pass
-/// metrics). The tree's counters are reset afterwards.
+/// Counts one batch of transactions through the counter, charges the
+/// clock for the work actually performed, and returns the counters (for
+/// pass metrics). The counter's work ledger is reset afterwards.
 pub(crate) fn count_batch_charged(
     comm: &mut Comm,
-    tree: &mut HashTree,
+    counter: &mut dyn CandidateCounter,
     batch: &[Transaction],
     filter: &OwnershipFilter,
-) -> TreeStats {
-    tree.count_all(batch, filter);
-    let delta = *tree.stats();
-    tree.reset_stats();
-    charge_tree_work(comm, &delta);
+) -> CounterStats {
+    counter.count_all(batch, filter);
+    let delta = counter.stats();
+    counter.reset_stats();
+    charge_counting_work(comm, &delta);
     delta
 }
 
@@ -237,29 +246,30 @@ pub(crate) fn ring_shift_count(
     scope: &mut Scope<'_>,
     my_pages: &[TransactionPage],
     max_pages: usize,
-    tree: &mut HashTree,
+    counter: &mut dyn CandidateCounter,
     filter: &OwnershipFilter,
-) -> Result<TreeStats, RecvFault> {
+) -> Result<CounterStats, RecvFault> {
     let p = scope.size();
-    let mut stats = TreeStats::default();
+    let mut stats = CounterStats::default();
     // Members whose slice has fewer pages than the ring's longest member
     // circulate this placeholder instead: the (zero-byte) message must
     // still flow each step so the shift pattern stays aligned, but there
     // is nothing in it to count.
     let empty: TransactionPage = Arc::from(Vec::new());
-    // Counts `sbuf` through the tree and charges the clock — skipped for
-    // empty buffers, which is virtual-time neutral (an empty batch yields
-    // an all-zero work delta) and saves the host-side bookkeeping.
-    let mut count_buf = |scope: &mut Scope<'_>, sbuf: &TransactionPage, stats: &mut TreeStats| {
-        if sbuf.is_empty() {
-            return;
-        }
-        tree.count_all(sbuf, filter);
-        let delta = *tree.stats();
-        tree.reset_stats();
-        charge_tree_work(scope.comm(), &delta);
-        *stats = stats.merged(&delta);
-    };
+    // Counts `sbuf` through the counter and charges the clock — skipped
+    // for empty buffers, which is virtual-time neutral (an empty batch
+    // yields an all-zero work delta) and saves the host-side bookkeeping.
+    let mut count_buf =
+        |scope: &mut Scope<'_>, sbuf: &TransactionPage, stats: &mut CounterStats| {
+            if sbuf.is_empty() {
+                return;
+            }
+            counter.count_all(sbuf, filter);
+            let delta = counter.stats();
+            counter.reset_stats();
+            charge_counting_work(scope.comm(), &delta);
+            *stats = stats.merged(&delta);
+        };
     for page_idx in 0..max_pages {
         // FillBuffer: my own page for this round.
         let mut sbuf: TransactionPage = my_pages
@@ -338,7 +348,7 @@ pub(crate) fn run_rank(
             let attempt = match &candidates {
                 None => parallel_pass1(comm, &ctx).map(|level| PassResult {
                     level,
-                    stats: TreeStats::default(),
+                    stats: CounterStats::default(),
                     db_scans: 1,
                     grid: (1, ctx.size()),
                     candidate_imbalance: 0.0,
@@ -443,12 +453,12 @@ mod tests {
                 Vec::new()
             };
             let my_pages = paginate(&local, 3); // rank 0: 4 pages; others: 0.
-            let mut tree = HashTree::build(
+            let mut counter = CounterBackend::HashTree.build(
                 2,
                 HashTreeParams::default(),
                 vec![ItemSet::from([1, 2]), ItemSet::from([1, 9])],
             );
-            tree.reset_stats();
+            counter.reset_stats();
             let mut world = comm.world();
             let page_counts: Vec<u64> = world.allgather(my_pages.len() as u64, 8);
             let max_pages = page_counts.iter().copied().max().unwrap_or(0) as usize;
@@ -456,11 +466,11 @@ mod tests {
                 &mut world,
                 &my_pages,
                 max_pages,
-                &mut tree,
+                &mut *counter,
                 &OwnershipFilter::all(),
             )
             .expect("fault-free ring cannot fail");
-            (tree.count_of(&ItemSet::from([1, 2])), stats.transactions)
+            (counter.count_of(&ItemSet::from([1, 2])), stats.transactions)
         });
         for (rank, (count, seen)) in result.results.iter().enumerate() {
             assert_eq!(*count, Some(10), "rank {rank} miscounted");

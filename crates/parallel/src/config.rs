@@ -1,6 +1,7 @@
 //! Shared knobs of the parallel formulations.
 
 use armine_core::apriori::MinSupport;
+use armine_core::counter::CounterBackend;
 use armine_core::hashtree::HashTreeParams;
 
 /// Parameters common to every parallel formulation.
@@ -9,8 +10,12 @@ pub struct ParallelParams {
     /// Minimum support threshold (fraction is relative to the whole
     /// database, not a processor's slice).
     pub min_support: MinSupport,
-    /// Hash-tree shape on every processor.
+    /// Hash-tree shape on every processor. Ignored by the trie backend.
     pub tree: HashTreeParams,
+    /// Which counting structure every processor builds over its candidate
+    /// share. The hash-tree default reproduces the paper's instrumented
+    /// runs (and the golden fingerprints) exactly.
+    pub counter: CounterBackend,
     /// Transactions per communication buffer ("one page" in the paper;
     /// their pages held ≈1000 transactions at 63 KB per 1000).
     pub page_size: usize,
@@ -45,6 +50,7 @@ impl ParallelParams {
         ParallelParams {
             min_support: MinSupport::Count(count),
             tree: HashTreeParams::default(),
+            counter: CounterBackend::default(),
             page_size: 1000,
             memory_capacity: None,
             max_k: None,
@@ -55,6 +61,12 @@ impl ParallelParams {
     /// Sets the hash-tree shape.
     pub fn tree(mut self, tree: HashTreeParams) -> Self {
         self.tree = tree;
+        self
+    }
+
+    /// Selects the candidate-counting backend.
+    pub fn counter(mut self, counter: CounterBackend) -> Self {
+        self.counter = counter;
         self
     }
 
@@ -95,12 +107,19 @@ mod tests {
             .page_size(64)
             .memory_capacity(1000)
             .max_k(3)
-            .split_threshold(50);
+            .split_threshold(50)
+            .counter(CounterBackend::Trie);
         assert_eq!(p.page_size, 64);
         assert_eq!(p.memory_capacity, Some(1000));
         assert_eq!(p.max_k, Some(3));
         assert_eq!(p.split_threshold, Some(50));
         assert_eq!(p.min_support, MinSupport::Fraction(0.01));
+        assert_eq!(p.counter, CounterBackend::Trie);
+        // The default backend is the paper's hash tree.
+        assert_eq!(
+            ParallelParams::with_min_support_count(1).counter,
+            CounterBackend::HashTree
+        );
     }
 
     #[test]

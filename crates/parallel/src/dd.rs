@@ -16,12 +16,13 @@
 //! win is communication and how much is the intelligent partitioning.
 
 use crate::common::{
-    build_tree_charged, count_batch_charged, level_wire_size, merge_levels, page_bytes, paginate,
-    ring_shift_count, PassResult, RankCtx, TransactionPage, TAG_DATA,
+    build_counter_charged, count_batch_charged, level_wire_size, merge_levels, page_bytes,
+    paginate, ring_shift_count, PassResult, RankCtx, TransactionPage, TAG_DATA,
 };
 use crate::config::ParallelParams;
 use armine_core::binpack::partition_round_robin;
-use armine_core::hashtree::{OwnershipFilter, TreeStats};
+use armine_core::counter::CounterStats;
+use armine_core::hashtree::OwnershipFilter;
 use armine_core::ItemSet;
 use armine_mpsim::{Comm, RecvFault};
 
@@ -49,7 +50,7 @@ pub(crate) fn count_pass(
     let total = candidates.len();
     let part = partition_round_robin(&candidates, p);
     let mine = part.parts[me].clone();
-    let mut tree = build_tree_charged(comm, k, params.tree, mine, total);
+    let mut counter = build_counter_charged(comm, k, params.counter, params.tree, mine, total);
     comm.charge_io(ctx.local_bytes());
 
     let my_pages = paginate(&ctx.local, ctx.page_size);
@@ -60,7 +61,7 @@ pub(crate) fn count_pass(
 
     let stats = match scheme {
         CommScheme::NaiveAllToAll => {
-            let mut stats = TreeStats::default();
+            let mut stats = CounterStats::default();
             let filter = OwnershipFilter::all();
             for round in 0..max_pages {
                 let mut world = ctx.world(comm);
@@ -92,7 +93,7 @@ pub(crate) fn count_pass(
                 }
                 drop(world);
                 for page in &batch {
-                    stats = stats.merged(&count_batch_charged(comm, &mut tree, page, &filter));
+                    stats = stats.merged(&count_batch_charged(comm, &mut *counter, page, &filter));
                 }
             }
             stats
@@ -103,7 +104,7 @@ pub(crate) fn count_pass(
                 &mut world,
                 &my_pages,
                 max_pages,
-                &mut tree,
+                &mut *counter,
                 &OwnershipFilter::all(),
             )?
         }
@@ -112,7 +113,7 @@ pub(crate) fn count_pass(
     // Each processor now has complete global counts for its own candidate
     // partition: extract the frequent ones and exchange them with an
     // all-to-all broadcast so every rank assembles the full F_k.
-    let mine_frequent = tree.frequent(ctx.min_count);
+    let mine_frequent = counter.frequent(ctx.min_count);
     let bytes = level_wire_size(&mine_frequent);
     let all = ctx.world(comm).try_allgather(mine_frequent, bytes)?;
     Ok(PassResult {

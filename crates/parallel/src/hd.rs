@@ -19,7 +19,7 @@
 //! when it is large — Table II's configurations.
 
 use crate::common::{
-    build_tree_charged, level_wire_size, merge_levels, paginate, ring_shift_count, PassResult,
+    build_counter_charged, level_wire_size, merge_levels, paginate, ring_shift_count, PassResult,
     RankCtx,
 };
 use crate::config::ParallelParams;
@@ -73,7 +73,7 @@ pub(crate) fn count_pass(
     let part = make_partition(&candidates, ctx.num_items, g, params);
     let mine = part.parts[my_row].clone();
     let filter = part.filters[my_row].clone();
-    let mut tree = build_tree_charged(comm, k, params.tree, mine, total);
+    let mut counter = build_counter_charged(comm, k, params.counter, params.tree, mine, total);
     comm.charge_io(ctx.local_bytes());
 
     // Step 1 — IDD within the column: shift the column's transactions
@@ -86,8 +86,8 @@ pub(crate) fn count_pass(
         );
         let page_counts: Vec<u64> = col.try_allgather(my_pages.len() as u64, 8)?;
         let max_pages = page_counts.iter().copied().max().unwrap_or(0) as usize;
-        let stats = ring_shift_count(&mut col, &my_pages, max_pages, &mut tree, &filter)?;
-        (stats, tree.count_vector())
+        let stats = ring_shift_count(&mut col, &my_pages, max_pages, &mut *counter, &filter)?;
+        (stats, counter.count_vector())
     };
 
     // Step 2 — reduction along the row: processors in a row hold the same
@@ -95,8 +95,8 @@ pub(crate) fn count_pass(
     let mut counts = counts;
     comm.scope(ctx.scope_id(SCOPE_ROW + my_row as u64), row_members)
         .try_allreduce_sum_u64(&mut counts)?;
-    tree.set_count_vector(&counts);
-    let mine_frequent = tree.frequent(ctx.min_count);
+    counter.set_count_vector(&counts);
+    let mine_frequent = counter.frequent(ctx.min_count);
 
     // Step 3 — all-to-all broadcast along the column: reassemble F_k.
     let bytes = level_wire_size(&mine_frequent);

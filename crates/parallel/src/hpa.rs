@@ -27,7 +27,7 @@
 
 use crate::common::{level_wire_size, merge_levels, paginate, PassResult, RankCtx, TAG_DATA};
 use crate::config::ParallelParams;
-use armine_core::hashtree::TreeStats;
+use armine_core::counter::CounterStats;
 use armine_core::stable_hash::owner_of;
 use armine_core::ItemSet;
 use armine_mpsim::Comm;
@@ -110,7 +110,7 @@ pub(crate) fn count_pass(
     let page_counts: Vec<u64> = comm.world().allgather(my_pages.len() as u64, 8);
     let max_pages = page_counts.iter().copied().max().unwrap_or(0) as usize;
 
-    let mut stats = TreeStats::default();
+    let mut stats = CounterStats::default();
     let subset_bytes = 4 * k;
     for round in 0..max_pages {
         // Enumerate and route this page's potential candidates.

@@ -15,11 +15,12 @@
 //!    repeated: `V(C/P, L/P) ≈ V(C, L)/P`.
 
 use crate::common::{
-    build_tree_charged, level_wire_size, merge_levels, paginate, ring_shift_count, PassResult,
+    build_counter_charged, level_wire_size, merge_levels, paginate, ring_shift_count, PassResult,
     RankCtx,
 };
 use crate::config::ParallelParams;
 use armine_core::binpack::{partition_by_first_item, partition_two_level, CandidatePartition};
+use armine_core::counter::CounterStats;
 use armine_core::ItemSet;
 use armine_mpsim::{Comm, RecvFault};
 
@@ -58,7 +59,7 @@ pub(crate) fn count_pass_single_source(
     let part = make_partition(&candidates, ctx.num_items, p, params);
     let mine = part.parts[me].clone();
     let filter = part.filters[me].clone();
-    let mut tree = build_tree_charged(comm, k, params.tree, mine, total);
+    let mut counter = build_counter_charged(comm, k, params.counter, params.tree, mine, total);
     if me == 0 {
         comm.charge_io(ctx.local_bytes());
     }
@@ -71,7 +72,7 @@ pub(crate) fn count_pass_single_source(
         let value = (world.rank() == 0).then_some(my_pages.len() as u64);
         world.broadcast(0, value, 8) as usize
     };
-    let mut stats = armine_core::hashtree::TreeStats::default();
+    let mut stats = CounterStats::default();
     #[allow(clippy::needless_range_loop)] // only the source indexes its pages
     for page_idx in 0..num_pages {
         let tag = TAG_DATA | (page_idx as u64) << 8;
@@ -87,15 +88,15 @@ pub(crate) fn count_pass_single_source(
             let bytes = page_bytes(&page);
             let sh = world.isend(me + 1, tag, page.clone(), bytes);
             drop(world);
-            stats = stats.merged(&count_batch_charged(comm, &mut tree, &page, &filter));
+            stats = stats.merged(&count_batch_charged(comm, &mut *counter, &page, &filter));
             comm.world().wait_send(sh);
         } else {
             drop(world);
-            stats = stats.merged(&count_batch_charged(comm, &mut tree, &page, &filter));
+            stats = stats.merged(&count_batch_charged(comm, &mut *counter, &page, &filter));
         }
     }
 
-    let mine_frequent = tree.frequent(ctx.min_count);
+    let mine_frequent = counter.frequent(ctx.min_count);
     let bytes = level_wire_size(&mine_frequent);
     let all = comm.world().allgather(mine_frequent, bytes);
     PassResult {
@@ -123,7 +124,7 @@ pub(crate) fn count_pass(
     let part = make_partition(&candidates, ctx.num_items, p, params);
     let mine = part.parts[me].clone();
     let filter = part.filters[me].clone();
-    let mut tree = build_tree_charged(comm, k, params.tree, mine, total);
+    let mut counter = build_counter_charged(comm, k, params.counter, params.tree, mine, total);
     comm.charge_io(ctx.local_bytes());
 
     let my_pages = paginate(&ctx.local, ctx.page_size);
@@ -132,10 +133,10 @@ pub(crate) fn count_pass(
 
     let stats = {
         let mut world = ctx.world(comm);
-        ring_shift_count(&mut world, &my_pages, max_pages, &mut tree, &filter)?
+        ring_shift_count(&mut world, &my_pages, max_pages, &mut *counter, &filter)?
     };
 
-    let mine_frequent = tree.frequent(ctx.min_count);
+    let mine_frequent = counter.frequent(ctx.min_count);
     let bytes = level_wire_size(&mine_frequent);
     let all = ctx.world(comm).try_allgather(mine_frequent, bytes)?;
     Ok(PassResult {

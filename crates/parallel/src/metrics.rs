@@ -1,7 +1,7 @@
 //! Per-pass and per-run measurements of a parallel mining run.
 
 use armine_core::apriori::FrequentItemsets;
-use armine_core::hashtree::TreeStats;
+use armine_core::counter::CounterStats;
 use armine_mpsim::RankStats;
 
 /// What one pass of a parallel run looked like.
@@ -20,7 +20,7 @@ pub struct ParallelPassMetrics {
     /// `(P, 1)` means IDD-like (the notation of Table II).
     pub grid: (usize, usize),
     /// Hash-tree work counters summed over all ranks.
-    pub tree_stats: TreeStats,
+    pub tree_stats: CounterStats,
     /// Database scans this pass (CD exceeds 1 when memory-capped).
     pub db_scans: usize,
     /// Candidate-count imbalance of the partition (`max/avg − 1`);
@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn leaf_visit_average_delegates_to_tree_stats() {
         let m = ParallelPassMetrics {
-            tree_stats: TreeStats {
+            tree_stats: CounterStats {
                 transactions: 10,
                 distinct_leaf_visits: 30,
                 ..Default::default()

@@ -7,7 +7,7 @@ use crate::dd::CommScheme;
 use crate::metrics::{ParallelPassMetrics, ParallelRun};
 use crate::{cd, dd, hd, hpa, idd, npa, pdm};
 use armine_core::apriori::FrequentItemsets;
-use armine_core::hashtree::TreeStats;
+use armine_core::counter::CounterStats;
 use armine_core::Dataset;
 use armine_mpsim::{FaultPlan, MachineProfile, SimResult, Simulator, Topology};
 
@@ -349,7 +349,7 @@ fn assemble(
     let mut passes = Vec::with_capacity(num_passes);
     let mut prev_end = 0.0f64;
     for i in 0..num_passes {
-        let mut stats = TreeStats::default();
+        let mut stats = CounterStats::default();
         let mut end = 0.0f64;
         for r in &survivors {
             stats = stats.merged(&r.passes[i].stats);

@@ -10,7 +10,7 @@
 //! CD's `O(M)` — measurably worse at scale (tested below), which is
 //! precisely why CD's authors used a proper reduction.
 
-use crate::common::{build_tree_charged, count_batch_charged, PassResult, RankCtx};
+use crate::common::{build_counter_charged, count_batch_charged, PassResult, RankCtx};
 use crate::config::ParallelParams;
 use armine_core::hashtree::OwnershipFilter;
 use armine_core::ItemSet;
@@ -26,13 +26,14 @@ pub(crate) fn count_pass(
 ) -> PassResult {
     let p = comm.size();
     let total = candidates.len();
-    let mut tree = build_tree_charged(comm, k, params.tree, candidates, total);
+    let mut counter =
+        build_counter_charged(comm, k, params.counter, params.tree, candidates, total);
     comm.charge_io(ctx.local_bytes());
-    let stats = count_batch_charged(comm, &mut tree, &ctx.local, &OwnershipFilter::all());
+    let stats = count_batch_charged(comm, &mut *counter, &ctx.local, &OwnershipFilter::all());
 
     // Funnel the counts to the coordinator (rank 0), which alone derives
     // the frequent set and broadcasts it.
-    let counts = tree.count_vector();
+    let counts = counter.count_vector();
     let bytes = counts.len() * 8;
     let mut world = comm.world();
     let gathered = world.gather(0, counts, bytes);
@@ -50,8 +51,8 @@ pub(crate) fn count_pass(
         world
             .comm()
             .advance(total as f64 * (p as f64 - 1.0) * t_add);
-        tree.set_count_vector(&sum);
-        let level = tree.frequent(ctx.min_count);
+        counter.set_count_vector(&sum);
+        let level = counter.frequent(ctx.min_count);
         let level_bytes = crate::common::level_wire_size(&level);
         world.broadcast(0, Some(level.clone()), level_bytes);
         level
