@@ -1,0 +1,15 @@
+//! Native-vs-virtual speedup validation: mines a large Quest dataset on
+//! both execution backends and snapshots `experiments/BENCH_native.json`.
+use armine_bench::experiments::{emit, native};
+fn main() {
+    let procs: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("processor counts"))
+        .collect();
+    let procs = if procs.is_empty() {
+        native::default_procs()
+    } else {
+        procs
+    };
+    emit(&native::run(&procs), "native_speedup");
+}

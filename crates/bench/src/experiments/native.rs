@@ -1,0 +1,189 @@
+//! Native-vs-virtual speedup validation — the paper's Figure 13 exercise
+//! run against our own hardware.
+//!
+//! Mines one large Quest dataset at several processor counts on both
+//! execution backends: the sim backend predicts speedup on its virtual
+//! clock (Cray T3E profile), the native backend measures real wall-clock
+//! speedup on host threads. The two curves land side by side, and the raw
+//! numbers are snapshotted to `experiments/BENCH_native.json` — the first
+//! entry of the perf trajectory.
+//!
+//! Knobs (environment): `ARMINE_NATIVE_N` overrides the transaction count
+//! (default 100 000), `ARMINE_NATIVE_MAXP` caps the processor sweep
+//! (default `min(host cores, 8)`).
+
+use crate::report::{experiments_dir, Table};
+use crate::workloads;
+use armine_mpsim::ExecBackend;
+use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
+use std::io::Write;
+
+/// Default transactions (override with `ARMINE_NATIVE_N`).
+pub const NUM_TRANSACTIONS: usize = 100_000;
+/// Minimum support fraction.
+pub const MIN_SUPPORT: f64 = 0.01;
+/// Deepest pass.
+pub const MAX_K: usize = 4;
+
+/// One (algorithm, P) measurement on both backends.
+#[derive(Debug, Clone)]
+pub struct NativePoint {
+    /// `Algorithm::name()`.
+    pub algorithm: &'static str,
+    /// Processor count.
+    pub procs: usize,
+    /// Sim-backend virtual response time (seconds).
+    pub virtual_s: f64,
+    /// Native-backend measured response time (seconds).
+    pub measured_s: f64,
+    /// Virtual speedup vs the smallest P.
+    pub virtual_speedup: f64,
+    /// Measured speedup vs the smallest P.
+    pub measured_speedup: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Processor counts to sweep: powers of two up to `min(host cores, 8)`
+/// (capped so the native ranks stay one-per-core and the measured curve
+/// is a real speedup, not oversubscription noise).
+pub fn default_procs() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let cap = env_usize("ARMINE_NATIVE_MAXP", cores.min(8));
+    let mut procs = vec![1];
+    while procs.last().unwrap() * 2 <= cap {
+        procs.push(procs.last().unwrap() * 2);
+    }
+    procs
+}
+
+/// Runs the sweep and returns the raw points (CD and IDD at each P).
+pub fn measure(procs_list: &[usize]) -> Vec<NativePoint> {
+    assert!(!procs_list.is_empty());
+    let n = env_usize("ARMINE_NATIVE_N", NUM_TRANSACTIONS);
+    let dataset = workloads::t15_i6(n, 4242);
+    let params = ParallelParams::with_min_support(MIN_SUPPORT)
+        .page_size(1000)
+        .max_k(MAX_K);
+    let mut points = Vec::new();
+    for algorithm in [Algorithm::Cd, Algorithm::Idd] {
+        let mut base: Option<(f64, f64, f64)> = None; // (P, virtual, measured)
+        for &procs in procs_list {
+            let run_on = |backend| {
+                ParallelMiner::new(procs)
+                    .backend(backend)
+                    .mine(algorithm, &dataset, &params)
+            };
+            let virtual_s = run_on(ExecBackend::Sim).response_time;
+            let measured_s = run_on(ExecBackend::Native).response_time;
+            let (p0, v0, m0) = *base.get_or_insert((procs as f64, virtual_s, measured_s));
+            points.push(NativePoint {
+                algorithm: algorithm.name(),
+                procs,
+                virtual_s,
+                measured_s,
+                virtual_speedup: p0 * v0 / virtual_s,
+                measured_speedup: p0 * m0 / measured_s,
+            });
+        }
+    }
+    points
+}
+
+/// Runs the sweep, writes `experiments/BENCH_native.json`, and returns
+/// the comparison table.
+pub fn run(procs_list: &[usize]) -> Table {
+    let n = env_usize("ARMINE_NATIVE_N", NUM_TRANSACTIONS);
+    let points = measure(procs_list);
+    match write_json(n, &points) {
+        Ok(path) => println!("(json: {})", path.display()),
+        Err(e) => eprintln!("(json write failed: {e})"),
+    }
+    let mut table = Table::new(
+        "Native vs virtual speedup (T15.I6, normalized to the smallest P)",
+        &[
+            "algo",
+            "P",
+            "virtual s",
+            "measured s",
+            "virtual speedup",
+            "measured speedup",
+        ],
+    );
+    for p in &points {
+        table.row(&[
+            &p.algorithm,
+            &p.procs,
+            &format!("{:.4}", p.virtual_s),
+            &format!("{:.4}", p.measured_s),
+            &format!("{:.2}", p.virtual_speedup),
+            &format!("{:.2}", p.measured_speedup),
+        ]);
+    }
+    table
+}
+
+/// Hand-written JSON snapshot (no serde in the tree): the machine-readable
+/// perf-trajectory entry.
+fn write_json(n: usize, points: &[NativePoint]) -> std::io::Result<std::path::PathBuf> {
+    let dir = experiments_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_native.json");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"benchmark\": \"native_vs_virtual_speedup\",")?;
+    writeln!(f, "  \"workload\": \"T15.I6\",")?;
+    writeln!(f, "  \"transactions\": {n},")?;
+    writeln!(f, "  \"min_support\": {MIN_SUPPORT},")?;
+    writeln!(f, "  \"max_k\": {MAX_K},")?;
+    writeln!(f, "  \"host_cores\": {cores},")?;
+    writeln!(f, "  \"points\": [")?;
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"algorithm\": \"{}\", \"procs\": {}, \"virtual_s\": {:.6}, \
+             \"measured_s\": {:.6}, \"virtual_speedup\": {:.3}, \"measured_speedup\": {:.3}}}{comma}",
+            p.algorithm, p.procs, p.virtual_s, p.measured_s, p.virtual_speedup, p.measured_speedup
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_both_curves_and_the_json() {
+        std::env::set_var("ARMINE_NATIVE_N", "400");
+        let table = run(&[1, 2]);
+        std::env::remove_var("ARMINE_NATIVE_N");
+        // Two algorithms x two processor counts.
+        assert_eq!(table.len(), 4);
+        for row in table.rows() {
+            let virtual_s: f64 = row[2].parse().unwrap();
+            let measured_s: f64 = row[3].parse().unwrap();
+            assert!(virtual_s > 0.0 && measured_s > 0.0, "{row:?}");
+        }
+        let json = std::fs::read_to_string(experiments_dir().join("BENCH_native.json")).unwrap();
+        assert!(json.contains("\"benchmark\": \"native_vs_virtual_speedup\""));
+        assert!(json.contains("\"measured_speedup\""));
+    }
+
+    #[test]
+    fn default_procs_are_powers_of_two_from_one() {
+        let procs = default_procs();
+        assert_eq!(procs[0], 1);
+        assert!(procs.windows(2).all(|w| w[1] == 2 * w[0]));
+        assert!(*procs.last().unwrap() <= 8);
+    }
+}

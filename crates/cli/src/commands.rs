@@ -11,7 +11,7 @@ use armine_core::rules::generate_rules;
 use armine_core::stats::dataset_stats;
 use armine_core::summaries::{closed_itemsets, maximal_itemsets};
 use armine_datagen::QuestParams;
-use armine_mpsim::{FaultPlan, MachineProfile};
+use armine_mpsim::{ExecBackend, FaultPlan, MachineProfile};
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
 use std::io::Write;
 
@@ -31,7 +31,7 @@ USAGE:
                   [--machine t3e|sp2|ideal] [--group-threshold M]
                   [--page-size N] [--memory-capacity N] [--max-k K]
                   [--eld-permille N] [--buckets B] [--filter-passes N]
-                  [--counter hashtree|trie]
+                  [--counter hashtree|trie] [--backend sim|native]
                   [--fault-plan FILE]   (see experiments/faults/*.plan)
   armine model    --n N --m M --c C --s S --procs P [--g G] [--machine t3e|sp2]
   armine stats    --input FILE [--top N]
@@ -39,6 +39,10 @@ USAGE:
   armine help
 
 ALGO: cd | npa | dd | dd-comm | idd | idd-1src | hd | hpa | pdm
+
+BACKEND: sim (default) prices the run on a virtual clock; native runs the
+same formulation at full speed on host threads and reports measured
+wall-clock times. Fault plans require the sim backend.
 ";
 
 /// Parses the subcommand and runs it.
@@ -212,36 +216,73 @@ fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>>
     params.max_k = args.optional("max-k")?;
     params.memory_capacity = args.optional("memory-capacity")?;
     params.counter = parse_counter(args)?;
+    let backend_name: String = args.or_default("backend", "sim".into())?;
+    let backend = ExecBackend::parse(&backend_name)
+        .ok_or_else(|| ArgError(format!("unknown backend {backend_name:?}")))?;
     let plan_path: Option<String> = args.optional("fault-plan")?;
     args.finish()?;
+    if plan_path.is_some() && backend == ExecBackend::Native {
+        return Err(ArgError("--fault-plan requires --backend sim".into()).into());
+    }
     let plan = match &plan_path {
         Some(path) => Some(FaultPlan::load(path).map_err(ArgError)?),
         None => None,
     };
 
     let dataset = read_transactions_auto(&input)?;
-    let miner = ParallelMiner::new(procs).machine(machine);
+    let miner = ParallelMiner::new(procs).machine(machine).backend(backend);
     let started = std::time::Instant::now();
     let run = match &plan {
         Some(plan) => miner.mine_with_faults(algorithm, &dataset, &params, Some(plan))?,
         None => miner.mine(algorithm, &dataset, &params),
     };
-    writeln!(
-        out,
-        "{} on {} simulated {} processors ({} transactions, min count {}):",
-        run.algorithm,
-        procs,
-        machine.name,
-        dataset.len(),
-        run.min_count
-    )?;
-    writeln!(
-        out,
-        "  virtual response time {:.3} ms   (wall {:.2}s, {} frequent itemsets)",
-        run.response_time * 1e3,
-        started.elapsed().as_secs_f64(),
-        run.frequent.len()
-    )?;
+    match backend {
+        ExecBackend::Sim => {
+            writeln!(
+                out,
+                "{} on {} simulated {} processors ({} transactions, min count {}):",
+                run.algorithm,
+                procs,
+                machine.name,
+                dataset.len(),
+                run.min_count
+            )?;
+            writeln!(
+                out,
+                "  virtual response time {:.3} ms   (wall {:.2}s, {} frequent itemsets)",
+                run.response_time * 1e3,
+                started.elapsed().as_secs_f64(),
+                run.frequent.len()
+            )?;
+        }
+        ExecBackend::Native => {
+            writeln!(
+                out,
+                "{} on {} native worker threads ({} transactions, min count {}):",
+                run.algorithm,
+                procs,
+                dataset.len(),
+                run.min_count
+            )?;
+            writeln!(
+                out,
+                "  measured response time {:.3} ms   (wall {:.2}s, {} frequent itemsets)",
+                run.response_time * 1e3,
+                started.elapsed().as_secs_f64(),
+                run.frequent.len()
+            )?;
+            let counting: f64 = run.wall.iter().map(|w| w.counting).sum();
+            let exchange: f64 = run.wall.iter().map(|w| w.exchange).sum();
+            let io: f64 = run.wall.iter().map(|w| w.io).sum();
+            writeln!(
+                out,
+                "  per-rank wall time: {:.3} ms counting, {:.3} ms exchange, {:.3} ms io (summed)",
+                counting * 1e3,
+                exchange * 1e3,
+                io * 1e3
+            )?;
+        }
+    }
     writeln!(
         out,
         "  {} MB moved, compute imbalance {:.1}%",
@@ -804,6 +845,76 @@ mod tests {
             &oob,
         ])
         .contains("cannot recover from rank crashes"));
+    }
+
+    #[test]
+    fn parallel_native_backend_runs_and_reports_wall_times() {
+        let db = temp("native.txt");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "300",
+            "--items",
+            "60",
+            "--patterns",
+            "20",
+            "--seed",
+            "7",
+        ]);
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "4",
+            "--min-support",
+            "0.03",
+            "--max-k",
+            "3",
+            "--backend",
+            "native",
+        ]);
+        assert!(o.contains("CD on 4 native worker threads"), "{o}");
+        assert!(o.contains("measured response time"), "{o}");
+        assert!(o.contains("per-rank wall time"), "{o}");
+        // Unknown backends are rejected.
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "3",
+            "--backend",
+            "turbo",
+        ])
+        .contains("turbo"));
+        // Fault plans require the sim backend.
+        let plan = temp("native.plan");
+        std::fs::write(&plan, "drop_rate = 0.1\n").unwrap();
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "3",
+            "--backend",
+            "native",
+            "--fault-plan",
+            &plan,
+        ])
+        .contains("requires --backend sim"));
     }
 
     #[test]

@@ -108,19 +108,34 @@ pub fn rules_for_itemset(
     itemset: &ItemSet,
     min_confidence: f64,
 ) -> Vec<Rule> {
+    rules_for_itemset_counted(frequent, itemset, min_confidence).0
+}
+
+/// Like [`rules_for_itemset`], but also reports how many consequents were
+/// actually confidence-evaluated. Level-wise pruning makes this far
+/// smaller than the `2^|itemset| − 2` bipartitions in all but the
+/// all-confident case, so cost models must charge this number, not the
+/// exponential bound.
+pub fn rules_for_itemset_counted(
+    frequent: &FrequentItemsets,
+    itemset: &ItemSet,
+    min_confidence: f64,
+) -> (Vec<Rule>, u64) {
     let n = frequent.num_transactions().max(1) as f64;
     let count = match frequent.support(itemset) {
         Some(c) => c,
-        None => return Vec::new(),
+        None => return (Vec::new(), 0),
     };
     let mut out = Vec::new();
+    let mut evaluated = 0;
     if itemset.len() >= 2 {
-        grow_rules(frequent, itemset, count, min_confidence, n, &mut out);
+        evaluated = grow_rules(frequent, itemset, count, min_confidence, n, &mut out);
     }
-    out
+    (out, evaluated)
 }
 
-/// Level-wise consequent growth for one frequent itemset.
+/// Level-wise consequent growth for one frequent itemset. Returns the
+/// number of consequents confidence-evaluated ([`try_rule`] calls).
 fn grow_rules(
     frequent: &FrequentItemsets,
     itemset: &ItemSet,
@@ -128,11 +143,13 @@ fn grow_rules(
     min_confidence: f64,
     n: f64,
     out: &mut Vec<Rule>,
-) {
+) -> u64 {
+    let mut evaluated = 0u64;
     // Level 1: single-item consequents.
     let mut consequents: Vec<ItemSet> = Vec::new();
     for item in itemset {
         let consequent = ItemSet::singleton(item);
+        evaluated += 1;
         if let Some(rule) = try_rule(frequent, itemset, &consequent, count, min_confidence, n) {
             out.push(rule);
             consequents.push(consequent);
@@ -147,12 +164,14 @@ fn grow_rules(
         consequents = next
             .into_iter()
             .filter_map(|consequent| {
+                evaluated += 1;
                 let rule = try_rule(frequent, itemset, &consequent, count, min_confidence, n)?;
                 out.push(rule);
                 Some(consequent)
             })
             .collect();
     }
+    evaluated
 }
 
 /// Builds the rule `itemset\consequent ⟹ consequent` if it clears the
@@ -373,6 +392,58 @@ mod tests {
         // Non-frequent and singleton queries produce nothing.
         assert!(rules_for_itemset(&run.frequent, &ItemSet::from([0]), 0.0).is_empty());
         assert!(rules_for_itemset(&run.frequent, &ItemSet::from([90, 91]), 0.0).is_empty());
+    }
+
+    #[test]
+    fn evaluated_count_is_exhaustive_when_nothing_prunes() {
+        // All transactions identical ⇒ every rule has confidence 1, so
+        // level-wise growth evaluates every non-trivial consequent of the
+        // 4-itemset: 2^4 − 2 = 14.
+        let transactions: Vec<Transaction> = (0..5)
+            .map(|tid| Transaction::new(tid, vec![Item(1), Item(2), Item(3), Item(4)]))
+            .collect();
+        let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(&transactions);
+        let four = ItemSet::from([1, 2, 3, 4]);
+        let (rules, evaluated) = rules_for_itemset_counted(&run.frequent, &four, 0.9);
+        assert_eq!(evaluated, 14);
+        assert_eq!(rules.len(), 14);
+    }
+
+    #[test]
+    fn evaluated_count_reflects_level_wise_pruning() {
+        // The triple {1,2,3} is much rarer than its pairs, so every
+        // single-item consequent of the triple fails a 0.9 confidence bar
+        // (conf = 2/12) and growth stops after the 3 level-1 evaluations —
+        // far below the 2^3 − 2 = 6 bipartitions.
+        let mut transactions = Vec::new();
+        let mut tid = 0u64;
+        for pair in [[1u32, 2], [1, 3], [2, 3]] {
+            for _ in 0..10 {
+                transactions.push(Transaction::new(
+                    tid,
+                    pair.iter().map(|&i| Item(i)).collect(),
+                ));
+                tid += 1;
+            }
+        }
+        for _ in 0..2 {
+            transactions.push(Transaction::new(tid, vec![Item(1), Item(2), Item(3)]));
+            tid += 1;
+        }
+        let run = Apriori::new(AprioriParams::with_min_support_count(2)).mine(&transactions);
+        let triple = ItemSet::from([1, 2, 3]);
+        assert!(
+            run.frequent.support(&triple).is_some(),
+            "triple is frequent"
+        );
+        let (rules, evaluated) = rules_for_itemset_counted(&run.frequent, &triple, 0.9);
+        assert!(rules.is_empty());
+        assert_eq!(evaluated, 3, "pruning stops after the level-1 failures");
+        // Counted and uncounted variants agree on the rules themselves.
+        assert_eq!(
+            rules_for_itemset(&run.frequent, &triple, 0.9),
+            rules_for_itemset_counted(&run.frequent, &triple, 0.9).0
+        );
     }
 
     #[test]

@@ -66,21 +66,11 @@ impl TidListIndex {
     }
 
     /// σ(C): the size of the intersection of the members' tid-lists.
-    /// Intersects smallest-first for early exit.
     pub fn support(&self, set: &ItemSet) -> u64 {
         if set.is_empty() {
             return self.num_transactions as u64;
         }
-        let mut lists: Vec<&[u32]> = set.items().iter().map(|&i| self.tids(i)).collect();
-        lists.sort_by_key(|l| l.len());
-        let mut acc: Vec<u32> = lists[0].to_vec();
-        for list in &lists[1..] {
-            if acc.is_empty() {
-                return 0;
-            }
-            acc = intersect_sorted(&acc, list);
-        }
-        acc.len() as u64
+        self.intersection(set).len() as u64
     }
 
     /// The exact tid set supporting `C` (positional indices).
@@ -88,9 +78,24 @@ impl TidListIndex {
         if set.is_empty() {
             return (0..self.num_transactions as u32).collect();
         }
-        let mut acc: Vec<u32> = self.tids(set.items()[0]).to_vec();
-        for &item in &set.items()[1..] {
-            acc = intersect_sorted(&acc, self.tids(item));
+        self.intersection(set).into_owned()
+    }
+
+    /// Intersection of the members' tid-lists, smallest list first so the
+    /// working set shrinks as fast as possible, with an early exit the
+    /// moment it empties. A singleton query borrows the stored list
+    /// instead of copying it — this index is the cross-validation oracle
+    /// on multi-million-transaction datasets, where a defensive copy of
+    /// the smallest list per query would dominate.
+    fn intersection<'a>(&'a self, set: &ItemSet) -> std::borrow::Cow<'a, [u32]> {
+        let mut lists: Vec<&[u32]> = set.items().iter().map(|&i| self.tids(i)).collect();
+        lists.sort_by_key(|l| l.len());
+        let mut acc = std::borrow::Cow::Borrowed(lists[0]);
+        for list in &lists[1..] {
+            if acc.is_empty() {
+                break;
+            }
+            acc = std::borrow::Cow::Owned(intersect_sorted(&acc, list));
         }
         acc
     }
@@ -207,6 +212,38 @@ mod tests {
         assert_eq!(intersect_sorted(&small, &large), small);
         let disjoint: Vec<u32> = (1000..2000).collect();
         assert!(intersect_sorted(&small, &disjoint).is_empty());
+    }
+
+    #[test]
+    fn support_and_supporting_tids_agree_on_one_path() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(23);
+        // Skewed data: item 0 is near-universal, high items are rare, so
+        // queries exercise the galloping path and the early exit.
+        let transactions: Vec<Transaction> = (0..500)
+            .map(|tid| {
+                let mut ids: Vec<u32> = vec![0];
+                for i in 1..40u32 {
+                    if rng.gen_range(0..i + 1) == 0 {
+                        ids.push(i);
+                    }
+                }
+                Transaction::new(tid, ids.into_iter().map(Item).collect())
+            })
+            .collect();
+        let idx = TidListIndex::build(&transactions);
+        for _ in 0..300 {
+            let k = rng.gen_range(1..=4);
+            let q = ItemSet::new((0..k).map(|_| Item(rng.gen_range(0..42))).collect());
+            let tids = idx.supporting_tids(&q);
+            assert_eq!(idx.support(&q), tids.len() as u64, "query {q}");
+            assert!(tids.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            for &t in &tids {
+                assert!(transactions[t as usize].contains_set(&q));
+            }
+        }
+        // Singleton queries borrow the stored list and return it intact.
+        assert_eq!(idx.supporting_tids(&set(&[0])).len(), 500);
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl Transaction {
         if k == 0 || k > n {
             return Vec::new();
         }
-        let mut out = Vec::with_capacity(self.potential_candidates(k).min(1 << 20) as usize);
+        // Clamp the hint: C(|t|, k) can reach millions for wide
+        // transactions, and pre-reserving that much (~24 bytes per slot)
+        // per transaction is a real memory spike. Let the vector grow past
+        // the hint instead.
+        let mut out = Vec::with_capacity(self.potential_candidates(k).min(1024) as usize);
         let mut idx: Vec<usize> = (0..k).collect();
         loop {
             out.push(ItemSet::from_sorted(

@@ -7,6 +7,7 @@ use crate::message::{Envelope, MatchKey, Packet};
 use crate::stats::RankStats;
 use crate::topology::Topology;
 use crate::trace::TraceEvent;
+use crate::wall::{ExecBackend, NativeState, WallCategory, WallTimings};
 use crossbeam::channel::{Receiver, Sender};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
@@ -118,6 +119,10 @@ pub struct Comm {
     aborted: HashMap<usize, (u64, f64)>,
     /// Peers whose threads finished (true = by panic).
     exited: HashMap<usize, bool>,
+    /// Wall-clock measurement state; `Some` iff this run executes on the
+    /// native backend. When set, the virtual `clock` field stays at 0.0
+    /// and every charge point measures instead of pricing.
+    native: Option<NativeState>,
 }
 
 impl Comm {
@@ -131,7 +136,12 @@ impl Comm {
         inbox: Receiver<Envelope>,
         tracing: bool,
         plan: Option<Arc<FaultPlan>>,
+        backend: ExecBackend,
     ) -> Self {
+        debug_assert!(
+            backend == ExecBackend::Sim || plan.is_none(),
+            "fault plans require the sim backend"
+        );
         let slowdown = plan.as_ref().map_or(1.0, |p| p.slowdown_of(rank));
         let (crash_time, crash_pass) = match plan.as_ref().and_then(|p| p.crash_of(rank)) {
             Some(crate::fault::CrashPoint::AtTime(t)) => (Some(t), None),
@@ -158,12 +168,19 @@ impl Comm {
             dead: HashMap::new(),
             aborted: HashMap::new(),
             exited: HashMap::new(),
+            native: (backend == ExecBackend::Native).then(NativeState::new),
         }
     }
 
     /// Extracts the recorded trace (empty when tracing is off).
     pub(crate) fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.trace.take().unwrap_or_default()
+    }
+
+    /// Finalizes and extracts the wall-clock timings of a native run
+    /// (`None` on the sim backend).
+    pub(crate) fn take_wall(&mut self) -> Option<WallTimings> {
+        self.native.take().map(NativeState::finish)
     }
 
     /// This rank's id in `0..size`.
@@ -181,9 +198,22 @@ impl Comm {
         &self.machine
     }
 
-    /// Current virtual time of this rank.
+    /// Current time of this rank: virtual seconds on the sim backend,
+    /// wall seconds since the rank's thread started on the native one.
     pub fn clock(&self) -> f64 {
-        self.clock
+        match &self.native {
+            Some(n) => n.elapsed(),
+            None => self.clock,
+        }
+    }
+
+    /// The execution backend this rank runs on.
+    pub fn backend(&self) -> ExecBackend {
+        if self.native.is_some() {
+            ExecBackend::Native
+        } else {
+            ExecBackend::Sim
+        }
     }
 
     /// The fault plan this simulation runs under, if any.
@@ -223,8 +253,13 @@ impl Comm {
     }
 
     /// Declares that this rank is entering mining pass `pass` (1-based);
-    /// fires a scheduled [`crate::CrashPoint::AtPass`] crash.
+    /// fires a scheduled [`crate::CrashPoint::AtPass`] crash on the sim
+    /// backend, records the pass boundary's wall time on the native one.
     pub fn enter_pass(&mut self, pass: usize) {
+        if let Some(n) = &mut self.native {
+            n.enter_pass(pass);
+            return;
+        }
         if self.crash_pass == Some(pass) {
             self.crash_now();
         }
@@ -281,9 +316,16 @@ impl Comm {
     }
 
     /// Charges `seconds` of local computation, scaled by this rank's
-    /// straggler slowdown factor.
+    /// straggler slowdown factor. On the native backend nothing is
+    /// charged; the wall time since the previous charge point is
+    /// attributed to counting instead (charge points bracket the real
+    /// work they price).
     pub fn advance(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "cannot advance time backwards");
+        if let Some(n) = &mut self.native {
+            n.attribute(WallCategory::Counting);
+            return;
+        }
         let seconds = seconds * self.slowdown;
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent::Compute {
@@ -301,12 +343,20 @@ impl Comm {
     /// whatever built the [`CountingWork`] ledger — hash tree, trie, or
     /// any future backend — is charged through the same expression.
     pub fn charge_counting(&mut self, work: &CountingWork) {
+        if let Some(n) = &mut self.native {
+            n.attribute(WallCategory::Counting);
+            return;
+        }
         let m = self.machine;
         self.advance(m.counting_time(work));
     }
 
     /// Charges I/O time for (re-)reading `bytes` from the database.
     pub fn charge_io(&mut self, bytes: usize) {
+        if let Some(n) = &mut self.native {
+            n.attribute(WallCategory::Io);
+            return;
+        }
         let t = bytes as f64 * self.machine.io_per_byte;
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent::Io {
@@ -319,10 +369,21 @@ impl Comm {
         self.maybe_crash();
     }
 
-    /// The accumulated accounting (clock, busy, idle, traffic).
+    /// The accumulated accounting (clock, busy, idle, traffic). On the
+    /// native backend the time fields are wall measurements: `clock` is
+    /// elapsed wall time, `busy` the counting bracket, `idle` the
+    /// exchange bracket, `io` the I/O bracket.
     pub fn stats(&self) -> RankStats {
         let mut s = self.stats;
-        s.clock = self.clock;
+        if let Some(n) = &self.native {
+            let t = n.timings();
+            s.clock = n.elapsed();
+            s.busy = t.counting;
+            s.idle = t.exchange;
+            s.io = t.io;
+        } else {
+            s.clock = self.clock;
+        }
         s
     }
 
@@ -360,6 +421,31 @@ impl Comm {
         payload: Box<dyn Any + Send>,
         bytes: usize,
     ) -> SendHandle {
+        // Native backend: the message goes into the peer's channel at
+        // full speed; no postal charges, arrival 0.0 (matching is by key,
+        // never by time). The handle's completion of 0.0 makes wait_send
+        // a no-op against the pinned-at-0.0 virtual clock.
+        if self.native.is_some() {
+            self.stats.messages_sent += 1;
+            self.stats.bytes_sent += bytes as u64;
+            let env = Envelope {
+                key: MatchKey {
+                    scope,
+                    src: self.rank,
+                    tag,
+                },
+                arrival: 0.0,
+                bytes,
+                packet: Packet::Data(payload),
+            };
+            self.senders[dst]
+                .send(env)
+                .expect("peer mailbox closed (peer panicked?)");
+            if let Some(n) = &mut self.native {
+                n.attribute(WallCategory::Exchange);
+            }
+            return SendHandle { completion: 0.0 };
+        }
         // Fault injection: lost transmission attempts cost the sender a
         // full setup + wire charge plus an exponential ack-timeout
         // backoff, all on the virtual clock, before the copy that gets
@@ -530,6 +616,16 @@ impl Comm {
     }
 
     fn complete_recv(&mut self, env: &Envelope) {
+        // Native backend: the blocking wait in `match_raw_ft` already
+        // happened for real; attribute the bracket to exchange.
+        if self.native.is_some() {
+            self.stats.messages_received += 1;
+            self.stats.bytes_received += env.bytes as u64;
+            if let Some(n) = &mut self.native {
+                n.attribute(WallCategory::Exchange);
+            }
+            return;
+        }
         // Causality: cannot complete before the message arrived.
         let mut idle = 0.0;
         if env.arrival > self.clock {

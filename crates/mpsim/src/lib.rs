@@ -53,6 +53,16 @@
 //! is a pure function of the plan seed and virtual state, so the same
 //! plan reproduces bit-identical clocks and fault counters.
 
+//! ## Execution backends
+//!
+//! [`Simulator::backend`] selects between the default virtual-time mode
+//! ([`ExecBackend::Sim`]) and a native wall-clock mode
+//! ([`ExecBackend::Native`]) where the same rank threads run at full
+//! hardware speed: charges become no-ops that attribute real elapsed time
+//! to counting/exchange/io categories, and per-rank [`WallTimings`] land
+//! in [`SimResult::wall`]. Mined results are identical across backends;
+//! fault plans require the sim backend.
+
 mod comm;
 mod fault;
 mod machine;
@@ -61,6 +71,7 @@ mod runtime;
 mod stats;
 mod topology;
 mod trace;
+mod wall;
 
 pub use comm::{Comm, RecvFault, RecvHandle, Scope, SendHandle};
 pub use fault::{CrashPoint, FaultPlan};
@@ -69,3 +80,4 @@ pub use runtime::{SimResult, Simulator};
 pub use stats::RankStats;
 pub use topology::Topology;
 pub use trace::{render_timeline, TraceEvent};
+pub use wall::{ExecBackend, WallTimings};

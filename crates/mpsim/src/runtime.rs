@@ -7,6 +7,7 @@ use crate::message::Envelope;
 use crate::stats::{imbalance, RankStats};
 use crate::topology::Topology;
 use crate::trace::TraceEvent;
+use crate::wall::{ExecBackend, WallTimings};
 use crossbeam::channel::unbounded;
 use std::any::Any;
 use std::sync::{Arc, Once};
@@ -19,6 +20,7 @@ pub struct Simulator {
     topology: Topology,
     tracing: bool,
     plan: Option<Arc<FaultPlan>>,
+    backend: ExecBackend,
 }
 
 /// Injected crashes and their secondary effects unwind rank threads with
@@ -53,7 +55,17 @@ impl Simulator {
             topology: Topology::torus_for(procs),
             tracing: false,
             plan: None,
+            backend: ExecBackend::Sim,
         }
+    }
+
+    /// Selects the execution backend: [`ExecBackend::Sim`] (virtual time,
+    /// the default) or [`ExecBackend::Native`] (full-speed wall-clock
+    /// execution with per-rank [`WallTimings`] in [`SimResult::wall`]).
+    /// Native runs reject fault plans.
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Runs the simulation under a deterministic fault plan (message
@@ -123,6 +135,7 @@ impl Simulator {
                 .collect(),
             ranks: r.ranks,
             traces: r.traces,
+            wall: r.wall,
         }
     }
 
@@ -137,10 +150,13 @@ impl Simulator {
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
         silence_fault_unwinds();
+        if self.backend == ExecBackend::Native {
+            assert!(self.plan.is_none(), "fault plans require the sim backend");
+        }
         let p = self.procs;
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..p).map(|_| unbounded::<Envelope>()).unzip();
-        type RankResult<T> = (Option<T>, RankStats, Vec<TraceEvent>);
+        type RankResult<T> = (Option<T>, RankStats, Vec<TraceEvent>, Option<WallTimings>);
         type RankOutcome<T> = Result<RankResult<T>, Box<dyn Any + Send>>;
         let mut outputs: Vec<Option<RankResult<T>>> = (0..p).map(|_| None).collect();
         let mut primary_panic: Option<Box<dyn Any + Send>> = None;
@@ -154,21 +170,38 @@ impl Simulator {
                 let topology = self.topology;
                 let tracing = self.tracing;
                 let plan = self.plan.clone();
+                let backend = self.backend;
                 handles.push(scope.spawn(move || -> RankOutcome<T> {
-                    let mut comm =
-                        Comm::new(rank, p, machine, topology, senders, inbox, tracing, plan);
+                    let mut comm = Comm::new(
+                        rank, p, machine, topology, senders, inbox, tracing, plan, backend,
+                    );
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm))) {
                         Ok(value) => {
                             // Tell peers this rank is done: a receive still
                             // pending on it is a protocol bug that should
                             // panic loudly, not hang.
                             comm.send_goodbyes(false);
-                            Ok((Some(value), comm.stats(), comm.take_trace()))
+                            let mut stats = comm.stats();
+                            let wall = comm.take_wall();
+                            if let Some(w) = &wall {
+                                // The finished wall timings are the
+                                // authoritative native accounting: stamp
+                                // them into the final stats so the
+                                // response time equals the slowest rank's
+                                // measured total exactly.
+                                stats.clock = w.total;
+                                stats.busy = w.counting;
+                                stats.idle = w.exchange;
+                                stats.io = w.io;
+                            }
+                            Ok((Some(value), stats, comm.take_trace(), wall))
                         }
                         Err(payload) if payload.is::<CrashUnwind>() => {
                             // Injected crash: tombstones were already sent
                             // at the moment of death.
-                            Ok((None, comm.stats(), comm.take_trace()))
+                            let stats = comm.stats();
+                            let wall = comm.take_wall();
+                            Ok((None, stats, comm.take_trace(), wall))
                         }
                         Err(payload) => {
                             comm.send_goodbyes(true);
@@ -179,7 +212,7 @@ impl Simulator {
             }
             for (rank, handle) in handles.into_iter().enumerate() {
                 match handle.join() {
-                    Ok(Ok(triple)) => outputs[rank] = Some(triple),
+                    Ok(Ok(tuple)) => outputs[rank] = Some(tuple),
                     Ok(Err(payload)) | Err(payload) => {
                         // Prefer the root-cause panic over the secondary
                         // receive failures it triggered elsewhere.
@@ -203,16 +236,19 @@ impl Simulator {
         let mut results = Vec::with_capacity(p);
         let mut ranks = Vec::with_capacity(p);
         let mut traces = Vec::with_capacity(p);
-        for triple in outputs {
-            let (value, stats, trace) = triple.unwrap();
+        let mut wall = Vec::new();
+        for tuple in outputs {
+            let (value, stats, trace, rank_wall) = tuple.unwrap();
             results.push(value);
             ranks.push(stats);
             traces.push(trace);
+            wall.extend(rank_wall);
         }
         SimResult {
             results,
             ranks,
             traces,
+            wall,
         }
     }
 }
@@ -227,6 +263,9 @@ pub struct SimResult<T> {
     /// Per-rank event timelines; empty vectors unless
     /// [`Simulator::tracing`] was enabled.
     pub traces: Vec<Vec<TraceEvent>>,
+    /// Per-rank wall-clock timings, indexed by rank; empty unless the
+    /// native backend ran.
+    pub wall: Vec<WallTimings>,
 }
 
 impl<T> SimResult<T> {
@@ -782,6 +821,54 @@ mod tests {
             v[0]
         });
         assert!(r.results.iter().all(|&x| x == 128));
+    }
+
+    // --- native backend --------------------------------------------------
+
+    use crate::ExecBackend;
+
+    #[test]
+    fn native_backend_runs_the_same_workload() {
+        let workload = |comm: &mut Comm| {
+            comm.enter_pass(1);
+            let mut v = vec![comm.rank() as u64 + 1; 64];
+            comm.charge_counting(&crate::CountingWork {
+                candidate_checks: 64,
+                ..Default::default()
+            });
+            comm.world().allreduce_sum_u64(&mut v);
+            comm.charge_io(1024);
+            v[0]
+        };
+        let sim = t3e(4).run(workload);
+        let native = t3e(4).backend(ExecBackend::Native).run(workload);
+        assert_eq!(sim.results, native.results, "mined values must agree");
+        // Sim: virtual clocks, no wall timings. Native: the reverse.
+        assert!(sim.wall.is_empty());
+        assert_eq!(native.wall.len(), 4);
+        for w in &native.wall {
+            assert!(w.total > 0.0);
+            assert_eq!(w.pass_starts.len(), 1);
+            assert!(w.counting + w.exchange + w.io <= w.total + 1e-9);
+        }
+        // Native stats mirror the wall accounting.
+        for (s, w) in native.ranks.iter().zip(&native.wall) {
+            assert_eq!(s.clock.to_bits(), w.total.to_bits());
+            assert_eq!(s.busy.to_bits(), w.counting.to_bits());
+        }
+        assert!(native.response_time() > 0.0);
+        // Traffic accounting is backend-independent.
+        assert_eq!(sim.total_messages(), native.total_messages());
+        assert_eq!(sim.total_bytes(), native.total_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plans require the sim backend")]
+    fn native_backend_rejects_fault_plans() {
+        t3e(2)
+            .backend(ExecBackend::Native)
+            .fault_plan(FaultPlan::new().seed(1).drop_rate(0.1))
+            .run(|comm| comm.rank());
     }
 
     // --- fault injection -------------------------------------------------

@@ -1,0 +1,191 @@
+//! The native wall-clock execution backend.
+//!
+//! The simulator's second mode of operation: ranks are still one real OS
+//! thread each exchanging owned messages over channels, but nothing is
+//! priced on a virtual clock — `advance`/`charge_counting`/`charge_io`
+//! stop charging and instead *measure*, attributing real elapsed time to
+//! the work category the charge point brackets. The result is a run at
+//! full hardware speed whose mined output is identical to the sim
+//! backend's (message matching is by `(scope, src, tag)`, never by
+//! arrival time) and whose [`WallTimings`] report where the host's time
+//! actually went.
+//!
+//! Attribution is *bracketed*: every charge point in the drivers sits
+//! immediately after the real work it prices (count a batch, then charge
+//! it), so the wall time since the previous charge point belongs to that
+//! category. Sends and receive completions attribute to `exchange`,
+//! compute charges to `counting`, I/O charges to `io`.
+
+use std::time::Instant;
+
+/// Which execution backend a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// Virtual-time simulation: charges priced by a [`crate::MachineProfile`]
+    /// under a postal communication model (the default).
+    #[default]
+    Sim,
+    /// Native wall-clock execution: no charges, real elapsed time measured
+    /// per rank. Fault plans are not supported on this backend.
+    Native,
+}
+
+impl ExecBackend {
+    /// Short name ("sim" / "native").
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecBackend::Sim => "sim",
+            ExecBackend::Native => "native",
+        }
+    }
+
+    /// Parses a backend name as the CLI spells it.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "sim" => Some(ExecBackend::Sim),
+            "native" => Some(ExecBackend::Native),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where one rank's real (wall-clock) time went during a native run.
+/// All values are seconds since the rank's thread started.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WallTimings {
+    /// Total wall time of the rank, thread start to closure return.
+    pub total: f64,
+    /// Wall time attributed to candidate counting and other compute
+    /// charge points.
+    pub counting: f64,
+    /// Wall time attributed to message exchange: blocking receive waits
+    /// plus send/receive handling.
+    pub exchange: f64,
+    /// Wall time attributed to I/O charge points (database scans).
+    pub io: f64,
+    /// `(pass, wall seconds at pass entry)` for every
+    /// [`crate::Comm::enter_pass`] call, in order.
+    pub pass_starts: Vec<(usize, f64)>,
+}
+
+impl WallTimings {
+    /// Per-pass wall durations `(pass, seconds)`: each pass runs from its
+    /// entry to the next pass's entry (the last until `total`).
+    pub fn pass_durations(&self) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(self.pass_starts.len());
+        for (i, &(pass, start)) in self.pass_starts.iter().enumerate() {
+            let end = self
+                .pass_starts
+                .get(i + 1)
+                .map_or(self.total, |&(_, next)| next);
+            out.push((pass, (end - start).max(0.0)));
+        }
+        out
+    }
+}
+
+/// The category a charge point attributes its bracket to.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WallCategory {
+    Counting,
+    Exchange,
+    Io,
+}
+
+/// Per-rank measurement state of a native run, owned by the rank's
+/// [`crate::Comm`].
+pub(crate) struct NativeState {
+    origin: Instant,
+    /// Elapsed seconds at the previous charge point.
+    last_mark: f64,
+    timings: WallTimings,
+}
+
+impl NativeState {
+    pub fn new() -> Self {
+        NativeState {
+            origin: Instant::now(),
+            last_mark: 0.0,
+            timings: WallTimings::default(),
+        }
+    }
+
+    /// Wall seconds since this rank's thread started.
+    pub fn elapsed(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Read-only view of what has been attributed so far.
+    pub fn timings(&self) -> &WallTimings {
+        &self.timings
+    }
+
+    /// Attributes the time since the previous charge point to `category`.
+    pub fn attribute(&mut self, category: WallCategory) {
+        let now = self.elapsed();
+        let bracket = (now - self.last_mark).max(0.0);
+        match category {
+            WallCategory::Counting => self.timings.counting += bracket,
+            WallCategory::Exchange => self.timings.exchange += bracket,
+            WallCategory::Io => self.timings.io += bracket,
+        }
+        self.last_mark = now;
+    }
+
+    /// Records a pass boundary.
+    pub fn enter_pass(&mut self, pass: usize) {
+        let now = self.elapsed();
+        self.timings.pass_starts.push((pass, now));
+    }
+
+    /// Finalizes the measurement (sets `total`) and yields the timings.
+    pub fn finish(mut self) -> WallTimings {
+        self.timings.total = self.elapsed();
+        self.timings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [ExecBackend::Sim, ExecBackend::Native] {
+            assert_eq!(ExecBackend::parse(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(ExecBackend::parse("quantum"), None);
+        assert_eq!(ExecBackend::default(), ExecBackend::Sim);
+    }
+
+    #[test]
+    fn attribution_brackets_elapsed_time() {
+        let mut s = NativeState::new();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        s.attribute(WallCategory::Counting);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        s.attribute(WallCategory::Exchange);
+        let t = s.finish();
+        assert!(t.counting >= 4e-3, "counting bracket lost: {t:?}");
+        assert!(t.exchange >= 4e-3, "exchange bracket lost: {t:?}");
+        assert!(t.total >= t.counting + t.exchange - 1e-9);
+    }
+
+    #[test]
+    fn pass_durations_partition_the_run() {
+        let t = WallTimings {
+            total: 10.0,
+            pass_starts: vec![(1, 0.0), (2, 4.0), (3, 7.0)],
+            ..WallTimings::default()
+        };
+        assert_eq!(t.pass_durations(), vec![(1, 4.0), (2, 3.0), (3, 3.0)]);
+        assert!(WallTimings::default().pass_durations().is_empty());
+    }
+}

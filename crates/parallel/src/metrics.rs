@@ -2,7 +2,7 @@
 
 use armine_core::apriori::FrequentItemsets;
 use armine_core::counter::CounterStats;
-use armine_mpsim::RankStats;
+use armine_mpsim::{RankStats, WallTimings};
 
 /// What one pass of a parallel run looked like.
 #[derive(Debug, Clone, Default)]
@@ -50,12 +50,16 @@ pub struct ParallelRun {
     pub frequent: FrequentItemsets,
     /// Per-pass measurements, `k = 1` first.
     pub passes: Vec<ParallelPassMetrics>,
-    /// Virtual response time of the whole run: max final clock (seconds).
+    /// Response time of the whole run: max final clock (seconds). Virtual
+    /// time on the sim backend, measured wall time on the native backend.
     pub response_time: f64,
     /// Per-rank time/traffic accounting.
     pub ranks: Vec<RankStats>,
     /// The resolved absolute minimum support count.
     pub min_count: u64,
+    /// Per-rank wall-clock timings, indexed by rank; empty unless the run
+    /// used [`armine_mpsim::ExecBackend::Native`].
+    pub wall: Vec<WallTimings>,
 }
 
 impl ParallelRun {

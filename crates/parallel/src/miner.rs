@@ -9,7 +9,7 @@ use crate::{cd, dd, hd, hpa, idd, npa, pdm};
 use armine_core::apriori::FrequentItemsets;
 use armine_core::counter::CounterStats;
 use armine_core::Dataset;
-use armine_mpsim::{FaultPlan, MachineProfile, SimResult, Simulator, Topology};
+use armine_mpsim::{ExecBackend, FaultPlan, MachineProfile, SimResult, Simulator, Topology};
 
 /// Which parallel formulation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +135,7 @@ pub struct ParallelMiner {
     procs: usize,
     machine: MachineProfile,
     topology: Topology,
+    backend: ExecBackend,
 }
 
 impl ParallelMiner {
@@ -145,7 +146,17 @@ impl ParallelMiner {
             procs,
             machine: MachineProfile::cray_t3e(),
             topology: Topology::torus_for(procs),
+            backend: ExecBackend::Sim,
         }
+    }
+
+    /// Selects the execution backend: virtual-time simulation (the
+    /// default) or native wall-clock execution, where the same pass
+    /// drivers run at full hardware speed and [`ParallelRun::wall`]
+    /// carries per-rank measured timings. Native runs reject fault plans.
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Overrides the machine profile (e.g. [`MachineProfile::ibm_sp2`] for
@@ -196,6 +207,11 @@ impl ParallelMiner {
         params: &ParallelParams,
         plan: Option<&FaultPlan>,
     ) -> Result<ParallelRun, FaultRunError> {
+        if plan.is_some() && self.backend == ExecBackend::Native {
+            return Err(FaultRunError::InvalidPlan(
+                "fault plans require the sim backend".into(),
+            ));
+        }
         if let Some(plan) = plan {
             plan.validate().map_err(FaultRunError::InvalidPlan)?;
             if plan.has_crashes() {
@@ -224,7 +240,8 @@ impl ParallelMiner {
         let min_count = params.min_support.resolve(dataset.len());
         let mut sim = Simulator::new(self.procs)
             .machine(self.machine)
-            .topology(self.topology);
+            .topology(self.topology)
+            .backend(self.backend);
         if let Some(plan) = plan {
             sim = sim.fault_plan(plan.clone());
         }
@@ -321,7 +338,8 @@ impl ParallelMiner {
     ) -> crate::rules::ParallelRulesRun {
         let sim = Simulator::new(self.procs)
             .machine(self.machine)
-            .topology(self.topology);
+            .topology(self.topology)
+            .backend(self.backend);
         crate::rules::generate_rules_parallel(&sim, frequent, min_confidence)
     }
 }
@@ -337,7 +355,12 @@ fn assemble(
     result: SimResult<Option<RankOutput>>,
 ) -> Option<ParallelRun> {
     let response_time = result.response_time();
-    let SimResult { results, ranks, .. } = result;
+    let SimResult {
+        results,
+        ranks,
+        wall,
+        ..
+    } = result;
     let survivors: Vec<RankOutput> = results.into_iter().flatten().collect();
     // Every surviving rank must have discovered the identical lattice.
     debug_assert!(
@@ -378,6 +401,7 @@ fn assemble(
         response_time,
         ranks,
         min_count,
+        wall,
     })
 }
 

@@ -11,7 +11,7 @@
 //! replicated — so the step parallelizes embarrassingly.
 
 use armine_core::apriori::FrequentItemsets;
-use armine_core::rules::{rules_for_itemset, Rule};
+use armine_core::rules::{rules_for_itemset_counted, Rule};
 use armine_mpsim::{RankStats, Simulator};
 
 /// The result of a parallel rule-generation run.
@@ -52,12 +52,12 @@ pub(crate) fn generate_rules_parallel(
             if idx % p != me {
                 continue;
             }
-            let rules = rules_for_itemset(frequent, itemset, min_confidence);
-            // Work model: every subset consequent evaluated costs one
-            // confidence check; surviving rules are what we see, and the
-            // evaluated count is at least that (use 2^|s| as the upper
-            // bound actually explored for small sets).
-            evaluated += (1u64 << itemset.len().min(20)) + rules.len() as u64;
+            // Work model: one confidence check per consequent the
+            // level-wise growth actually evaluated — pruning means this is
+            // usually far below the 2^|s| bipartition bound.
+            let (rules, evaluated_here) =
+                rules_for_itemset_counted(frequent, itemset, min_confidence);
+            evaluated += evaluated_here;
             mine.push((idx, rules));
         }
         comm.advance(evaluated as f64 * T_RULE);
@@ -146,6 +146,35 @@ mod tests {
         assert!(
             t8 < t2,
             "rule generation is embarrassingly parallel: {t8} !< {t2}"
+        );
+    }
+
+    #[test]
+    fn rule_time_charges_actual_evaluations_not_the_exponential_bound() {
+        use armine_core::rules::rules_for_itemset_counted;
+        let dataset = QuestParams::paper_t15_i6()
+            .num_transactions(400)
+            .num_items(100)
+            .num_patterns(40)
+            .seed(97)
+            .generate();
+        let miner = ParallelMiner::new(1);
+        let run = miner.mine(
+            Algorithm::Cd,
+            &dataset,
+            &ParallelParams::with_min_support(0.02).max_k(5),
+        );
+        let evaluated: u64 = (2..=run.frequent.max_len())
+            .flat_map(|size| run.frequent.level(size).iter())
+            .map(|(s, _)| rules_for_itemset_counted(&run.frequent, s, 0.7).1)
+            .sum();
+        assert!(evaluated > 0);
+        let out = miner.generate_rules(&run.frequent, 0.7);
+        let busy = out.ranks[0].busy;
+        let want = evaluated as f64 * super::T_RULE;
+        assert!(
+            (busy - want).abs() < 1e-12 * want.max(1.0),
+            "charged {busy}s, evaluated consequents price {want}s"
         );
     }
 
