@@ -1,6 +1,11 @@
-//! Candidate-structure comparison: hash tree vs candidate trie across the
-//! CandidateCounter seam, on replicated (CD) and partitioned (IDD) passes.
+//! Candidate-structure comparison: hash tree vs candidate trie vs the
+//! vertical (tidlist) counter across the CandidateCounter seam, on
+//! replicated (CD) and partitioned (IDD) passes, plus a native-backend
+//! wall-clock measurement of each structure's counting phase. Writes
+//! `experiments/BENCH_structures.json`.
 use armine_bench::experiments::{emit, structures};
 fn main() {
-    emit(&structures::run(), "structures");
+    let (sim, native) = structures::run_full();
+    emit(&sim, "structures");
+    emit(&native, "structures_native");
 }

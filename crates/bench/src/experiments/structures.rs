@@ -1,26 +1,146 @@
-//! Candidate-structure comparison: hash tree vs candidate trie behind the
+//! Candidate-structure comparison: hash tree vs candidate trie vs the
+//! vertical (tidlist) counter behind the
 //! [`CandidateCounter`](armine_core::counter::CandidateCounter) seam.
 //!
 //! The paper counts candidates with Agrawal's hash tree; a prefix trie
 //! with a merge-intersect walk is the main alternative in the literature
-//! (Borgelt's Apriori, FP-growth's predecessors). Both backends produce
+//! (Borgelt's Apriori, FP-growth's predecessors), and Eclat-style vertical
+//! counting — per-item TID bitmaps intersected with AND/popcount — is the
+//! other classic layout (Zaki et al.). All three backends produce
 //! identical counts — this experiment asks what each *pays*: virtual
 //! response time under the T3E cost model plus the raw op-count ledgers
-//! (traversal steps, leaf/node visits, candidate membership checks) that
-//! drive it. Run on a replicated-candidates formulation (CD) and a
-//! partitioned one (IDD, where the trie prunes whole subtrees through the
-//! ownership bitmap) at P ∈ {1, 16, 64}.
+//! (traversal steps, leaf/node visits, candidate membership checks,
+//! intersection words) that drive it. Run on a replicated-candidates
+//! formulation (CD) and a partitioned one (IDD, where the trie prunes
+//! whole subtrees through the ownership bitmap) at P ∈ {1, 16, 64}.
+//!
+//! A second, native-backend measurement times each backend's counting
+//! phase for real: CD at P=1 hands the counter the whole database as one
+//! batch — the vertical layout's winning regime, since it pays one
+//! pivot per batch and then one AND+popcount per candidate. Both slices
+//! land in `experiments/BENCH_structures.json`.
+//!
+//! Knob (environment): `ARMINE_STRUCTURES_N` overrides the native
+//! measurement's transaction count (default 20 000).
 
-use crate::report::Table;
+use crate::report::{experiments_dir, Table};
 use crate::workloads;
-use armine_core::counter::CounterBackend;
+use armine_core::counter::{CounterBackend, CounterStats};
+use armine_mpsim::ExecBackend;
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
+use std::io::Write;
 
-/// Runs the structure comparison and returns the table.
-pub fn run() -> Table {
-    let dataset = workloads::t10_i4(3200, 33);
+/// Minimum support fraction for both slices.
+pub const MIN_SUPPORT: f64 = 0.01;
+/// Deepest pass.
+pub const MAX_K: usize = 4;
+/// Default native-measurement transactions (override with
+/// `ARMINE_STRUCTURES_N`).
+pub const NATIVE_TRANSACTIONS: usize = 20_000;
+/// Sim-slice transactions (small: the virtual clock does the scaling).
+pub const SIM_TRANSACTIONS: usize = 3200;
+
+/// One (algorithm, counter backend, P) sim-backend data point.
+#[derive(Debug, Clone)]
+pub struct SimPoint {
+    /// `Algorithm::name()`.
+    pub algorithm: &'static str,
+    /// Counting-backend name.
+    pub counter: &'static str,
+    /// Processor count.
+    pub procs: usize,
+    /// Virtual response time (seconds).
+    pub response_s: f64,
+    /// Work ledger summed over all passes and ranks.
+    pub stats: CounterStats,
+    /// Frequent itemsets mined (backend-invariant).
+    pub frequent: usize,
+}
+
+/// One counter backend's native (wall-clock) measurement: CD at P=1, the
+/// whole database as a single counting batch.
+#[derive(Debug, Clone)]
+pub struct NativePoint {
+    /// Counting-backend name.
+    pub counter: &'static str,
+    /// Measured wall seconds attributed to candidate counting.
+    pub counting_s: f64,
+    /// Measured wall seconds for the whole run.
+    pub total_s: f64,
+    /// Frequent itemsets mined (backend-invariant).
+    pub frequent: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs the sim-backend sweep: both algorithms, all three counting
+/// backends, P ∈ {1, 16, 64}.
+pub fn measure_sim() -> Vec<SimPoint> {
+    let dataset = workloads::t10_i4(SIM_TRANSACTIONS, 33);
+    let mut points = Vec::new();
+    for algorithm in [Algorithm::Cd, Algorithm::Idd] {
+        for backend in CounterBackend::ALL {
+            for procs in [1usize, 16, 64] {
+                let params = ParallelParams::with_min_support(MIN_SUPPORT)
+                    .page_size(100)
+                    .max_k(MAX_K)
+                    .counter(backend);
+                let run = ParallelMiner::new(procs).mine(algorithm, &dataset, &params);
+                let stats = run
+                    .passes
+                    .iter()
+                    .fold(CounterStats::default(), |acc, p| acc.merged(&p.tree_stats));
+                points.push(SimPoint {
+                    algorithm: run.algorithm,
+                    counter: backend.name(),
+                    procs,
+                    response_s: run.response_time,
+                    stats,
+                    frequent: run.frequent.len(),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Times each backend's counting phase for real: CD at P=1 on the native
+/// execution backend counts the entire database as one batch, so the
+/// measured [`WallTimings::counting`](armine_mpsim::WallTimings) isolates
+/// the structure's own cost.
+pub fn measure_native(n: usize) -> Vec<NativePoint> {
+    let dataset = workloads::t10_i4(n, 33);
+    CounterBackend::ALL
+        .into_iter()
+        .map(|backend| {
+            let params = ParallelParams::with_min_support(MIN_SUPPORT)
+                .page_size(1000)
+                .max_k(MAX_K)
+                .counter(backend);
+            let run = ParallelMiner::new(1).backend(ExecBackend::Native).mine(
+                Algorithm::Cd,
+                &dataset,
+                &params,
+            );
+            NativePoint {
+                counter: backend.name(),
+                counting_s: run.wall[0].counting,
+                total_s: run.wall[0].total,
+                frequent: run.frequent.len(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sim sweep as the comparison table.
+pub fn sim_table(points: &[SimPoint]) -> Table {
     let mut table = Table::new(
-        "Counting structures — hash tree vs candidate trie (T10.I4, N=3200)",
+        "Counting structures — hash tree vs trie vs vertical (T10.I4, N=3200)",
         &[
             "algorithm",
             "backend",
@@ -29,37 +149,115 @@ pub fn run() -> Table {
             "traversal steps",
             "node visits",
             "cand checks",
+            "isect words",
             "frequent",
         ],
     );
-    for algorithm in [Algorithm::Cd, Algorithm::Idd] {
-        for backend in CounterBackend::ALL {
-            for procs in [1usize, 16, 64] {
-                let params = ParallelParams::with_min_support(0.01)
-                    .page_size(100)
-                    .max_k(4)
-                    .counter(backend);
-                let run = ParallelMiner::new(procs).mine(algorithm, &dataset, &params);
-                let stats = run
-                    .passes
-                    .iter()
-                    .fold(armine_core::counter::CounterStats::default(), |acc, p| {
-                        acc.merged(&p.tree_stats)
-                    });
-                table.row(&[
-                    &run.algorithm,
-                    &backend.name(),
-                    &procs,
-                    &format!("{:.3}", run.response_time * 1e3),
-                    &stats.traversal_steps,
-                    &stats.distinct_leaf_visits,
-                    &stats.candidate_checks,
-                    &run.frequent.len(),
-                ]);
-            }
-        }
+    for p in points {
+        table.row(&[
+            &p.algorithm,
+            &p.counter,
+            &p.procs,
+            &format!("{:.3}", p.response_s * 1e3),
+            &p.stats.traversal_steps,
+            &p.stats.distinct_leaf_visits,
+            &p.stats.candidate_checks,
+            &p.stats.intersection_words,
+            &p.frequent,
+        ]);
     }
     table
+}
+
+/// Renders the native measurement as a table.
+pub fn native_table(n: usize, points: &[NativePoint]) -> Table {
+    let mut table = Table::new(
+        &format!("Native counting time — CD, P=1, one batch (T10.I4, N={n})"),
+        &["backend", "counting s", "total s", "frequent"],
+    );
+    for p in points {
+        table.row(&[
+            &p.counter,
+            &format!("{:.4}", p.counting_s),
+            &format!("{:.4}", p.total_s),
+            &p.frequent,
+        ]);
+    }
+    table
+}
+
+/// Runs the sim structure comparison and returns the table (the
+/// historical entry point; `exp_structures` also runs the native slice
+/// and writes the JSON via [`run_full`]).
+pub fn run() -> Table {
+    sim_table(&measure_sim())
+}
+
+/// Runs both slices, writes `experiments/BENCH_structures.json`, and
+/// returns the two tables (sim sweep, native counting times).
+pub fn run_full() -> (Table, Table) {
+    let n = env_usize("ARMINE_STRUCTURES_N", NATIVE_TRANSACTIONS);
+    let sim = measure_sim();
+    let native = measure_native(n);
+    match write_json(n, &sim, &native) {
+        Ok(path) => println!("(json: {})", path.display()),
+        Err(e) => eprintln!("(json write failed: {e})"),
+    }
+    (sim_table(&sim), native_table(n, &native))
+}
+
+/// Hand-written JSON snapshot (no serde in the tree): the machine-readable
+/// three-way structure comparison, first slice of the perf trajectory's
+/// counting-structure entry.
+fn write_json(
+    n: usize,
+    sim: &[SimPoint],
+    native: &[NativePoint],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = experiments_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_structures.json");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"benchmark\": \"counting_structures\",")?;
+    writeln!(f, "  \"workload\": \"T10.I4\",")?;
+    writeln!(f, "  \"min_support\": {MIN_SUPPORT},")?;
+    writeln!(f, "  \"max_k\": {MAX_K},")?;
+    writeln!(f, "  \"sim_transactions\": {SIM_TRANSACTIONS},")?;
+    writeln!(f, "  \"native_transactions\": {n},")?;
+    writeln!(f, "  \"sim\": [")?;
+    for (i, p) in sim.iter().enumerate() {
+        let comma = if i + 1 < sim.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"algorithm\": \"{}\", \"counter\": \"{}\", \"procs\": {}, \
+             \"response_s\": {:.6}, \"traversal_steps\": {}, \"node_visits\": {}, \
+             \"candidate_checks\": {}, \"intersection_words\": {}, \"frequent\": {}}}{comma}",
+            p.algorithm,
+            p.counter,
+            p.procs,
+            p.response_s,
+            p.stats.traversal_steps,
+            p.stats.distinct_leaf_visits,
+            p.stats.candidate_checks,
+            p.stats.intersection_words,
+            p.frequent
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"native_cd_p1\": [")?;
+    for (i, p) in native.iter().enumerate() {
+        let comma = if i + 1 < native.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"counter\": \"{}\", \"counting_s\": {:.6}, \"total_s\": {:.6}, \
+             \"frequent\": {}}}{comma}",
+            p.counter, p.counting_s, p.total_s, p.frequent
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -68,13 +266,41 @@ mod tests {
 
     #[test]
     fn backends_agree_on_frequent_counts() {
-        let table = run();
-        assert_eq!(table.len(), 12, "2 algorithms x 2 backends x 3 P values");
+        let points = measure_sim();
+        let table = sim_table(&points);
+        assert_eq!(table.len(), 18, "2 algorithms x 3 backends x 3 P values");
         // The "frequent" column must not depend on backend, P, or algorithm.
-        let frequent: Vec<&str> = table.rows().iter().map(|r| r[7].as_str()).collect();
+        let frequent: Vec<&str> = table.rows().iter().map(|r| r[8].as_str()).collect();
         assert!(
             frequent.iter().all(|f| *f == frequent[0]),
             "frequent counts diverged: {frequent:?}"
         );
+        // Only the vertical backend accrues intersection words; the
+        // horizontal backends must report zero so the default-backend
+        // virtual-time fingerprints stay untouched.
+        for p in &points {
+            if p.counter == "vertical" {
+                assert!(p.stats.intersection_words > 0, "{p:?}");
+            } else {
+                assert_eq!(p.stats.intersection_words, 0, "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn native_slice_measures_all_backends_and_writes_json() {
+        let points = measure_native(400);
+        assert_eq!(points.len(), CounterBackend::ALL.len());
+        let frequent: Vec<usize> = points.iter().map(|p| p.frequent).collect();
+        assert!(frequent.iter().all(|f| *f == frequent[0]), "{frequent:?}");
+        for p in &points {
+            assert!(p.counting_s >= 0.0 && p.total_s > 0.0, "{p:?}");
+        }
+        let sim = measure_sim();
+        let path = write_json(400, &sim, &points).unwrap();
+        let json = std::fs::read_to_string(path).unwrap();
+        assert!(json.contains("\"benchmark\": \"counting_structures\""));
+        assert!(json.contains("\"native_cd_p1\""));
+        assert!(json.contains("\"counter\": \"vertical\""));
     }
 }

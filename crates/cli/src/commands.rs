@@ -26,12 +26,12 @@ USAGE:
                   [--avg-len T] [--pattern-len I] [--seed S] [--format text|binary]
   armine mine     --input FILE --min-support FRAC [--min-count N]
                   [--max-k K] [--rules MIN_CONF] [--top N]
-                  [--counter hashtree|trie]
+                  [--counter hashtree|trie|vertical]
   armine parallel --input FILE --algorithm ALGO --procs P --min-support FRAC
                   [--machine t3e|sp2|ideal] [--group-threshold M]
                   [--page-size N] [--memory-capacity N] [--max-k K]
                   [--eld-permille N] [--buckets B] [--filter-passes N]
-                  [--counter hashtree|trie] [--backend sim|native]
+                  [--counter hashtree|trie|vertical] [--backend sim|native]
                   [--fault-plan FILE]   (see experiments/faults/*.plan)
   armine model    --n N --m M --c C --s S --procs P [--g G] [--machine t3e|sp2]
   armine stats    --input FILE [--top N]
@@ -189,8 +189,13 @@ fn parse_algorithm(args: &Args) -> Result<Algorithm, ArgError> {
 
 fn parse_counter(args: &Args) -> Result<CounterBackend, ArgError> {
     let name: String = args.or_default("counter", "hashtree".into())?;
-    CounterBackend::parse(&name)
-        .ok_or_else(|| ArgError(format!("unknown counter backend {name:?}")))
+    CounterBackend::parse(&name).ok_or_else(|| {
+        let valid: Vec<&str> = CounterBackend::ALL.iter().map(|b| b.name()).collect();
+        ArgError(format!(
+            "unknown counter backend {name:?} (valid: {})",
+            valid.join(", ")
+        ))
+    })
 }
 
 fn parse_machine(args: &Args) -> Result<MachineProfile, ArgError> {
@@ -587,17 +592,52 @@ mod tests {
             "trie",
         ]);
         assert!(o.contains("IDD on 3 simulated"));
-        // Unknown backends are rejected by both subcommands.
-        assert!(run_err(&[
+        // The vertical backend works end-to-end, and backend names are
+        // accepted case-insensitively.
+        let o = run_ok(&[
+            "mine",
+            "--input",
+            &db,
+            "--min-count",
+            "4",
+            "--max-k",
+            "3",
+            "--counter",
+            "Vertical",
+        ]);
+        assert!(o.contains("frequent itemsets"));
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "3",
+            "--min-count",
+            "4",
+            "--max-k",
+            "3",
+            "--counter",
+            "vertical",
+        ]);
+        assert!(o.contains("CD on 3 simulated"));
+        // Unknown backends are rejected by both subcommands, and the error
+        // lists every valid backend name.
+        let err = run_err(&[
             "mine",
             "--input",
             &db,
             "--min-count",
             "4",
             "--counter",
-            "btree"
-        ])
-        .contains("btree"));
+            "btree",
+        ]);
+        assert!(err.contains("btree"));
+        assert!(
+            err.contains("hashtree") && err.contains("trie") && err.contains("vertical"),
+            "error should list valid backends: {err}"
+        );
         assert!(run_err(&[
             "parallel",
             "--input",

@@ -107,6 +107,52 @@ impl ItemBitmap {
     }
 }
 
+/// Wide-word kernels over raw `u64` blocks — the inner loops of the
+/// vertical (tid-bitmap) counting backend. A block is simply a dense bit
+/// set packed 64 bits per word; candidates intersect by ANDing blocks and
+/// a support count is one popcount sweep. All kernels return or consume
+/// plain slices so callers can account the touched word count exactly
+/// (that count is what `CounterStats::intersection_words` prices).
+pub mod words {
+    /// Number of `u64` words needed to hold `bits` bits.
+    pub fn words_for(bits: usize) -> usize {
+        bits.div_ceil(64)
+    }
+
+    /// Sets bit `i` in a block.
+    #[inline]
+    pub fn set_bit(block: &mut [u64], i: usize) {
+        block[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether bit `i` is set in a block.
+    #[inline]
+    pub fn test_bit(block: &[u64], i: usize) -> bool {
+        block[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `a AND b` into a fresh block. Blocks must be the same length.
+    pub fn and(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert_eq!(a.len(), b.len(), "block length mismatch");
+        a.iter().zip(b).map(|(&x, &y)| x & y).collect()
+    }
+
+    /// Popcount of `a AND b` without materializing the intersection — the
+    /// final step of a candidate evaluation.
+    pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+        debug_assert_eq!(a.len(), b.len(), "block length mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (x & y).count_ones() as u64)
+            .sum()
+    }
+
+    /// Popcount of one block.
+    pub fn popcount(block: &[u64]) -> u64 {
+        block.iter().map(|w| w.count_ones() as u64).sum()
+    }
+}
+
 impl std::fmt::Debug for ItemBitmap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_set().entries(self.iter()).finish()
@@ -171,6 +217,46 @@ mod tests {
         assert_eq!(ItemBitmap::new(1).wire_size(), 12);
         assert_eq!(ItemBitmap::new(64).wire_size(), 12);
         assert_eq!(ItemBitmap::new(65).wire_size(), 20);
+    }
+
+    #[test]
+    fn word_kernels_match_naive_bit_sets() {
+        let n = 200;
+        let mut a = vec![0u64; words::words_for(n)];
+        let mut b = vec![0u64; words::words_for(n)];
+        let set_a: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
+        let set_b: Vec<usize> = (0..n)
+            .filter(|i| i % 5 == 0 || i % 3 == 0 && i % 2 == 0)
+            .collect();
+        for &i in &set_a {
+            words::set_bit(&mut a, i);
+        }
+        for &i in &set_b {
+            words::set_bit(&mut b, i);
+        }
+        assert!(words::test_bit(&a, 0) && !words::test_bit(&a, 1));
+        assert_eq!(words::popcount(&a), set_a.len() as u64);
+        let both: Vec<usize> = set_a
+            .iter()
+            .copied()
+            .filter(|i| set_b.contains(i))
+            .collect();
+        assert_eq!(words::and_popcount(&a, &b), both.len() as u64);
+        let anded = words::and(&a, &b);
+        assert_eq!(words::popcount(&anded), both.len() as u64);
+        for &i in &both {
+            assert!(words::test_bit(&anded, i));
+        }
+    }
+
+    #[test]
+    fn word_kernels_handle_empty_blocks() {
+        assert_eq!(words::words_for(0), 0);
+        assert_eq!(words::words_for(64), 1);
+        assert_eq!(words::words_for(65), 2);
+        assert_eq!(words::popcount(&[]), 0);
+        assert_eq!(words::and_popcount(&[], &[]), 0);
+        assert!(words::and(&[], &[]).is_empty());
     }
 
     #[test]

@@ -7,11 +7,14 @@
 //! object-safe contract every backend satisfies, [`CounterStats`] is the
 //! structure-agnostic work ledger the virtual-time model charges from,
 //! and [`CounterBackend`] is the config knob that selects a backend at
-//! run time. Two production backends exist — the paper's
+//! run time. Three production backends exist — the paper's
 //! [`HashTree`](crate::hashtree::HashTree) (the default, which keeps
-//! every virtual-time golden bit-identical) and the item-indexed
+//! every virtual-time golden bit-identical), the item-indexed
 //! [`CandidateTrie`](crate::trie::CandidateTrie) of later Apriori
-//! implementations (Borgelt's, Bodon's). Structure choice dominating
+//! implementations (Borgelt's, Bodon's), and the Eclat-style
+//! [`VerticalCounter`](crate::vertical::VerticalCounter), which pivots
+//! each batch into per-item tid bitmaps and counts by AND + popcount
+//! instead of walking transaction subsets at all. Structure choice dominating
 //! Apriori runtime is the point of Singh et al. (arXiv:1511.07017);
 //! making it a measured experiment instead of an architectural fact is
 //! the point of this seam.
@@ -20,6 +23,7 @@ use crate::hashtree::{HashTree, HashTreeParams, OwnershipFilter};
 use crate::itemset::ItemSet;
 use crate::transaction::Transaction;
 use crate::trie::CandidateTrie;
+use crate::vertical::VerticalCounter;
 
 /// Accumulated work counters of a candidate-counting structure.
 ///
@@ -51,6 +55,11 @@ pub struct CounterStats {
     /// Individual candidate-vs-transaction comparisons performed at
     /// terminal nodes.
     pub candidate_checks: u64,
+    /// `u64` words touched by bitmap AND/popcount intersections — the
+    /// vertical backend's dominant work term (`t_word` units). Zero for
+    /// the horizontal backends. Sparse-list intersections report element
+    /// probes in the same unit.
+    pub intersection_words: u64,
 }
 
 impl CounterStats {
@@ -65,15 +74,37 @@ impl CounterStats {
     }
 
     /// Element-wise sum, used when aggregating per-pass or per-processor
-    /// stats.
+    /// stats. Both operands are destructured exhaustively (no `..`), so a
+    /// newly added ledger field cannot be silently dropped from the merge
+    /// — forgetting it is a compile error, not a masked zero when ranks
+    /// running different backends aggregate.
     pub fn merged(&self, other: &CounterStats) -> CounterStats {
+        let CounterStats {
+            inserts,
+            transactions,
+            root_starts,
+            traversal_steps,
+            distinct_leaf_visits,
+            candidate_checks,
+            intersection_words,
+        } = *self;
+        let CounterStats {
+            inserts: o_inserts,
+            transactions: o_transactions,
+            root_starts: o_root_starts,
+            traversal_steps: o_traversal_steps,
+            distinct_leaf_visits: o_distinct_leaf_visits,
+            candidate_checks: o_candidate_checks,
+            intersection_words: o_intersection_words,
+        } = *other;
         CounterStats {
-            inserts: self.inserts + other.inserts,
-            transactions: self.transactions + other.transactions,
-            root_starts: self.root_starts + other.root_starts,
-            traversal_steps: self.traversal_steps + other.traversal_steps,
-            distinct_leaf_visits: self.distinct_leaf_visits + other.distinct_leaf_visits,
-            candidate_checks: self.candidate_checks + other.candidate_checks,
+            inserts: inserts + o_inserts,
+            transactions: transactions + o_transactions,
+            root_starts: root_starts + o_root_starts,
+            traversal_steps: traversal_steps + o_traversal_steps,
+            distinct_leaf_visits: distinct_leaf_visits + o_distinct_leaf_visits,
+            candidate_checks: candidate_checks + o_candidate_checks,
+            intersection_words: intersection_words + o_intersection_words,
         }
     }
 }
@@ -223,6 +254,48 @@ impl CandidateCounter for CandidateTrie {
     }
 }
 
+impl CandidateCounter for VerticalCounter {
+    fn k(&self) -> usize {
+        VerticalCounter::k(self)
+    }
+
+    fn num_candidates(&self) -> usize {
+        VerticalCounter::num_candidates(self)
+    }
+
+    fn count_all(&mut self, transactions: &[Transaction], filter: &OwnershipFilter) {
+        VerticalCounter::count_all(self, transactions, filter);
+    }
+
+    fn count_of(&self, set: &ItemSet) -> Option<u64> {
+        VerticalCounter::count_of(self, set)
+    }
+
+    fn count_vector(&self) -> Vec<u64> {
+        VerticalCounter::count_vector(self)
+    }
+
+    fn set_count_vector(&mut self, counts: &[u64]) {
+        VerticalCounter::set_count_vector(self, counts);
+    }
+
+    fn frequent(&self, min_count: u64) -> Vec<(ItemSet, u64)> {
+        VerticalCounter::frequent(self, min_count)
+    }
+
+    fn stats(&self) -> CounterStats {
+        *VerticalCounter::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        VerticalCounter::reset_stats(self);
+    }
+
+    fn wire_size(&self) -> usize {
+        VerticalCounter::wire_size(self)
+    }
+}
+
 /// Which counting structure to build — the config knob threaded from the
 /// CLI through `AprioriParams`/`ParallelParams` down to every pass.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -234,15 +307,23 @@ pub enum CounterBackend {
     HashTree,
     /// The item-indexed prefix trie of later Apriori implementations.
     Trie,
+    /// The Eclat-style vertical backend: per-item tid bitmaps intersected
+    /// by wide-word AND + popcount, with a sorted-tid-list fallback for
+    /// low-density items.
+    Vertical,
 }
 
 impl CounterBackend {
     /// Every available backend, in display order.
-    pub const ALL: [CounterBackend; 2] = [CounterBackend::HashTree, CounterBackend::Trie];
+    pub const ALL: [CounterBackend; 3] = [
+        CounterBackend::HashTree,
+        CounterBackend::Trie,
+        CounterBackend::Vertical,
+    ];
 
     /// Builds the selected structure over one pass's size-`k`
     /// candidates. `tree` shapes the hash tree and is ignored by the
-    /// trie.
+    /// other backends.
     pub fn build(
         self,
         k: usize,
@@ -252,16 +333,17 @@ impl CounterBackend {
         match self {
             CounterBackend::HashTree => Box::new(HashTree::build(k, tree, candidates)),
             CounterBackend::Trie => Box::new(CandidateTrie::build(k, candidates)),
+            CounterBackend::Vertical => Box::new(VerticalCounter::build(k, candidates)),
         }
     }
 
     /// Parses a backend name as accepted by the CLI's `--counter` flag.
+    /// Matching is ASCII case-insensitive (`Trie`, `VERTICAL`, … all
+    /// resolve).
     pub fn parse(name: &str) -> Option<CounterBackend> {
-        match name {
-            "hashtree" => Some(CounterBackend::HashTree),
-            "trie" => Some(CounterBackend::Trie),
-            _ => None,
-        }
+        CounterBackend::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
     }
 
     /// The canonical name (round-trips through [`parse`](Self::parse)).
@@ -269,6 +351,7 @@ impl CounterBackend {
         match self {
             CounterBackend::HashTree => "hashtree",
             CounterBackend::Trie => "trie",
+            CounterBackend::Vertical => "vertical",
         }
     }
 }
@@ -305,6 +388,7 @@ mod tests {
             traversal_steps: 4,
             distinct_leaf_visits: 5,
             candidate_checks: 6,
+            intersection_words: 7,
         };
         let b = a;
         let m = a.merged(&b);
@@ -314,19 +398,50 @@ mod tests {
         assert_eq!(m.traversal_steps, 8);
         assert_eq!(m.distinct_leaf_visits, 10);
         assert_eq!(m.candidate_checks, 12);
+        assert_eq!(m.intersection_words, 14);
+    }
+
+    /// Merging across ranks running different backends must not mask
+    /// fields that are zero in one operand: every field of an
+    /// all-nonzero ledger survives a merge with the default (all-zero)
+    /// ledger unchanged, in both orders.
+    #[test]
+    fn merged_preserves_fields_zero_in_one_operand() {
+        let vertical_rank = CounterStats {
+            inserts: 11,
+            transactions: 22,
+            root_starts: 33,
+            traversal_steps: 44,
+            distinct_leaf_visits: 55,
+            candidate_checks: 66,
+            intersection_words: 77,
+        };
+        let horizontal_rank = CounterStats::default();
+        assert_eq!(vertical_rank.merged(&horizontal_rank), vertical_rank);
+        assert_eq!(horizontal_rank.merged(&vertical_rank), vertical_rank);
     }
 
     #[test]
     fn backend_names_round_trip() {
         for backend in CounterBackend::ALL {
             assert_eq!(CounterBackend::parse(backend.name()), Some(backend));
+            // Case-insensitive: uppercase and mixed-case resolve too.
+            assert_eq!(
+                CounterBackend::parse(&backend.name().to_ascii_uppercase()),
+                Some(backend)
+            );
         }
+        assert_eq!(
+            CounterBackend::parse("Vertical"),
+            Some(CounterBackend::Vertical)
+        );
         assert_eq!(CounterBackend::parse("btree"), None);
         assert_eq!(CounterBackend::default(), CounterBackend::HashTree);
+        assert_eq!(CounterBackend::ALL.len(), 3);
     }
 
     #[test]
-    fn both_backends_count_identically_through_the_trait() {
+    fn all_backends_count_identically_through_the_trait() {
         let candidates = vec![
             ItemSet::from([1, 2]),
             ItemSet::from([1, 3]),
@@ -351,7 +466,13 @@ mod tests {
             assert_eq!(counter.stats(), CounterStats::default());
             vectors.push(counter.count_vector());
         }
-        assert_eq!(vectors[0], vectors[1]);
-        assert_eq!(vectors[0], vec![1, 2, 1]);
+        for (i, v) in vectors.iter().enumerate() {
+            assert_eq!(
+                v,
+                &vec![1, 2, 1],
+                "backend {} diverged",
+                CounterBackend::ALL[i].name()
+            );
+        }
     }
 }

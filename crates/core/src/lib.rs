@@ -17,7 +17,8 @@
 //! - [`counter`] — the pluggable candidate-counting seam: the
 //!   [`CandidateCounter`](counter::CandidateCounter) trait, the
 //!   structure-agnostic work ledger, and the backend knob selecting the
-//!   hash tree or the [`trie::CandidateTrie`].
+//!   hash tree, the [`trie::CandidateTrie`], or the Eclat-style
+//!   [`vertical::VerticalCounter`].
 //! - [`apriori`] — `apriori_gen` (join + prune) and the multi-pass mining
 //!   loop, including the memory-capped mode that partitions the hash tree
 //!   and rescans the database (the behaviour Figure 12 exercises).
@@ -65,6 +66,7 @@ pub mod summaries;
 pub mod tidlist;
 pub mod transaction;
 pub mod trie;
+pub mod vertical;
 
 pub use bitmap::ItemBitmap;
 pub use dataset::Dataset;

@@ -102,7 +102,10 @@ impl TidListIndex {
 }
 
 /// Intersection of two ascending id lists (galloping for skewed sizes).
-fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+/// Shared with the vertical counting backend, which falls back to sorted
+/// tid lists for low-density items instead of materializing near-empty
+/// bitmaps.
+pub fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     // Gallop when the size ratio is extreme; merge otherwise.
     if large.len() / small.len().max(1) >= 16 {

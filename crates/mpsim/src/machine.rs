@@ -38,6 +38,10 @@ pub struct MachineProfile {
     pub t_gen: f64,
     /// Per-transaction bookkeeping cost in a database scan.
     pub t_trans: f64,
+    /// Per-`u64`-word cost of a bitmap AND/popcount step — the vertical
+    /// counting backend's dominant term. Roughly one ALU op plus the
+    /// streaming memory access; the horizontal backends never accrue it.
+    pub t_word: f64,
     /// Per-byte cost of (re-)reading the database from disk; 0 when the
     /// database is memory-resident (the paper's T3E setup simulates I/O).
     pub io_per_byte: f64,
@@ -59,6 +63,7 @@ impl MachineProfile {
             t_insert: 1.2e-6,
             t_gen: 1.2e-6,
             t_trans: 200e-9,
+            t_word: 8e-9,
             io_per_byte: 0.0,
         }
     }
@@ -78,6 +83,7 @@ impl MachineProfile {
             t_insert: 10.8e-6,
             t_gen: 10.8e-6,
             t_trans: 1.8e-6,
+            t_word: 72e-9,
             io_per_byte: 1.0 / 20e6,
         }
     }
@@ -97,6 +103,7 @@ impl MachineProfile {
             t_insert: 1.2e-6,
             t_gen: 1.2e-6,
             t_trans: 200e-9,
+            t_word: 8e-9,
             io_per_byte: 0.0,
         }
     }
@@ -116,13 +123,19 @@ impl MachineProfile {
     /// The term order is load-bearing: it reproduces, addition for
     /// addition, the expression the hash-tree charging path has always
     /// used, so `f64` rounding — and therefore every virtual-time golden
-    /// fingerprint — is bit-identical to the pre-seam code.
+    /// fingerprint — is bit-identical to the pre-seam code. The
+    /// `intersection_words` term is appended **last** for the same
+    /// reason: the horizontal backends report zero words, and adding a
+    /// trailing `+ 0.0` to a non-negative sum leaves its bit pattern
+    /// untouched, so the default-backend goldens survive the vertical
+    /// backend's arrival unchanged.
     pub fn counting_time(&self, work: &CountingWork) -> f64 {
         work.inserts as f64 * self.t_insert
             + work.transactions as f64 * self.t_trans
             + work.traversal_steps as f64 * self.t_travers
             + work.node_visits as f64 * self.t_leaf
             + work.candidate_checks as f64 * self.t_check
+            + work.intersection_words as f64 * self.t_word
     }
 }
 
@@ -145,6 +158,9 @@ pub struct CountingWork {
     pub node_visits: u64,
     /// Candidate-vs-transaction comparisons (`t_check` units).
     pub candidate_checks: u64,
+    /// Bitmap words touched by AND/popcount intersections (`t_word`
+    /// units) — only the vertical backend emits these.
+    pub intersection_words: u64,
 }
 
 #[cfg(test)]
@@ -185,6 +201,7 @@ mod tests {
             traversal_steps: 1009,
             node_visits: 127,
             candidate_checks: 511,
+            intersection_words: 8191,
         };
         // Exactly the term order the charging path has always used —
         // compared through bits because that order is the contract.
@@ -192,8 +209,41 @@ mod tests {
             + w.transactions as f64 * m.t_trans
             + w.traversal_steps as f64 * m.t_travers
             + w.node_visits as f64 * m.t_leaf
-            + w.candidate_checks as f64 * m.t_check;
+            + w.candidate_checks as f64 * m.t_check
+            + w.intersection_words as f64 * m.t_word;
         assert_eq!(m.counting_time(&w).to_bits(), by_hand.to_bits());
+    }
+
+    /// Horizontal backends report zero intersection words; the appended
+    /// `+ 0.0` must leave the historical expression's bits untouched, or
+    /// every golden fingerprint would shift.
+    #[test]
+    fn zero_intersection_words_preserve_historical_bits() {
+        for m in [
+            MachineProfile::cray_t3e(),
+            MachineProfile::ibm_sp2(),
+            MachineProfile::ideal(),
+        ] {
+            let w = CountingWork {
+                inserts: 3,
+                transactions: 41,
+                traversal_steps: 1009,
+                node_visits: 127,
+                candidate_checks: 511,
+                intersection_words: 0,
+            };
+            let historical = w.inserts as f64 * m.t_insert
+                + w.transactions as f64 * m.t_trans
+                + w.traversal_steps as f64 * m.t_travers
+                + w.node_visits as f64 * m.t_leaf
+                + w.candidate_checks as f64 * m.t_check;
+            assert_eq!(
+                m.counting_time(&w).to_bits(),
+                historical.to_bits(),
+                "{}",
+                m.name
+            );
+        }
     }
 
     #[test]

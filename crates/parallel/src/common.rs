@@ -123,7 +123,10 @@ pub(crate) struct RankOutput {
 
 /// Maps a backend's stats delta onto the simulator's structure-agnostic
 /// counting ledger. Field for field: the hash tree's distinct leaf visits
-/// and the trie's depth-`k` node arrivals both price as `node_visits`.
+/// and the trie's depth-`k` node arrivals both price as `node_visits`;
+/// the vertical backend's bitmap words pass through as
+/// `intersection_words` (zero for the horizontal backends, which keeps
+/// their charge expression — and the goldens — bit-identical).
 fn as_counting_work(delta: &CounterStats) -> CountingWork {
     CountingWork {
         inserts: delta.inserts,
@@ -131,6 +134,7 @@ fn as_counting_work(delta: &CounterStats) -> CountingWork {
         traversal_steps: delta.traversal_steps,
         node_visits: delta.distinct_leaf_visits,
         candidate_checks: delta.candidate_checks,
+        intersection_words: delta.intersection_words,
     }
 }
 

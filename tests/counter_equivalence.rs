@@ -1,7 +1,8 @@
 //! Cross-backend equivalence of the [`CandidateCounter`] seam: the hash
-//! tree, the candidate trie, and brute-force subset containment must agree
-//! exactly — on full counts, under ownership filters, and end-to-end
-//! through every parallel formulation.
+//! tree, the candidate trie, the vertical (tidlist) counter, and
+//! brute-force subset containment must agree exactly — on full counts,
+//! under ownership filters, and end-to-end through every parallel
+//! formulation on both the simulated and the native execution backend.
 
 use armine::core::binpack::partition_by_first_item;
 use armine::core::counter::CounterBackend;
@@ -9,6 +10,7 @@ use armine::core::hashtree::{HashTreeParams, OwnershipFilter};
 use armine::core::rules::generate_rules;
 use armine::core::{Item, ItemSet, Transaction};
 use armine::datagen::QuestParams;
+use armine::mpsim::ExecBackend;
 use armine::parallel::{Algorithm, ParallelMiner, ParallelParams};
 use proptest::prelude::*;
 
@@ -89,7 +91,11 @@ proptest! {
             }
             levels.push(counter.frequent(min_count));
         }
-        prop_assert_eq!(&levels[0], &levels[1], "frequent levels diverge");
+        for (backend, level) in CounterBackend::ALL.iter().zip(&levels).skip(1) {
+            prop_assert_eq!(
+                &levels[0], level, "frequent levels diverge on {}", backend.name()
+            );
+        }
     }
 
     /// Under a first-item partition, each part's filtered count is exact
@@ -125,13 +131,16 @@ proptest! {
             prop_assert_eq!(&union, &want_union, "backend {}", backend.name());
             unions.push(union);
         }
-        prop_assert_eq!(&unions[0], &unions[1]);
+        for (backend, union) in CounterBackend::ALL.iter().zip(&unions).skip(1) {
+            prop_assert_eq!(&unions[0], union, "union diverges on {}", backend.name());
+        }
     }
 }
 
 /// Every parallel formulation mines the identical frequent itemsets — and
 /// therefore identical association rules — whichever counting backend the
-/// [`ParallelParams::counter`] knob selects.
+/// [`ParallelParams::counter`] knob selects, on both the simulated and the
+/// native (wall-clock) execution backend.
 #[test]
 fn all_formulations_agree_across_backends() {
     let dataset = QuestParams::paper_t15_i6()
@@ -154,25 +163,35 @@ fn all_formulations_agree_across_backends() {
             filter_passes: 1,
         },
     ];
-    let miner = ParallelMiner::new(4);
-    for algorithm in algorithms {
-        let run = |backend| {
-            let params = ParallelParams::with_min_support_count(9)
-                .page_size(40)
-                .max_k(4)
-                .counter(backend);
-            miner.mine(algorithm, &dataset, &params)
-        };
-        let tree = run(CounterBackend::HashTree);
-        let trie = run(CounterBackend::Trie);
-        let levels = |r: &armine::parallel::ParallelRun| -> Vec<(ItemSet, u64)> {
-            r.frequent.iter().map(|(s, c)| (s.clone(), c)).collect()
-        };
-        assert_eq!(levels(&tree), levels(&trie), "{algorithm:?} lattice");
-        assert_eq!(
-            generate_rules(&tree.frequent, 0.7),
-            generate_rules(&trie.frequent, 0.7),
-            "{algorithm:?} rules"
-        );
+    for exec in [ExecBackend::Sim, ExecBackend::Native] {
+        let miner = ParallelMiner::new(4).backend(exec);
+        for algorithm in algorithms {
+            let run = |backend| {
+                let params = ParallelParams::with_min_support_count(9)
+                    .page_size(40)
+                    .max_k(4)
+                    .counter(backend);
+                miner.mine(algorithm, &dataset, &params)
+            };
+            let levels = |r: &armine::parallel::ParallelRun| -> Vec<(ItemSet, u64)> {
+                r.frequent.iter().map(|(s, c)| (s.clone(), c)).collect()
+            };
+            let tree = run(CounterBackend::HashTree);
+            for counter in [CounterBackend::Trie, CounterBackend::Vertical] {
+                let other = run(counter);
+                assert_eq!(
+                    levels(&tree),
+                    levels(&other),
+                    "{algorithm:?} lattice ({exec:?}, {})",
+                    counter.name()
+                );
+                assert_eq!(
+                    generate_rules(&tree.frequent, 0.7),
+                    generate_rules(&other.frequent, 0.7),
+                    "{algorithm:?} rules ({exec:?}, {})",
+                    counter.name()
+                );
+            }
+        }
     }
 }
