@@ -1,7 +1,10 @@
-//! Fault-injection overhead: retransmission cost vs drop rate, and the
-//! price of a pass-boundary crash recovery, at P=64.
+//! Fault-injection overhead: retransmission cost vs drop rate, the price
+//! of a pass-boundary crash recovery at P=64, and the same fault plans on
+//! both execution backends (sim-predicted vs native-measured, snapshotted
+//! to experiments/BENCH_faults.json).
 use armine_bench::experiments::{emit, faults};
 fn main() {
     emit(&faults::run_drop_rate(), "faults_drop_rate");
     emit(&faults::run_crash_recovery(), "faults_crash_recovery");
+    emit(&faults::run_both_backends(), "faults_backends");
 }

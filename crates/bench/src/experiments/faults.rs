@@ -14,13 +14,21 @@
 //!    and re-execute the interrupted pass; the overhead column isolates
 //!    what that re-execution plus the shifted load balance costs.
 //!
+//! A third sweep runs the **same plans on both execution backends** at a
+//! host-sized P: the sim backend predicts the fault overhead on its
+//! virtual clock, the native backend pays it for real (thread deaths,
+//! sleeps, wall-clock RTO timers). The side-by-side points are
+//! snapshotted to `experiments/BENCH_faults.json` — sim-predicted vs
+//! measured recovery cost.
+//!
 //! Every run mines the identical frequent lattice (asserted here): the
 //! fault layer may cost time, never answers.
 
-use crate::report::Table;
+use crate::report::{experiments_dir, Table};
 use crate::workloads;
-use armine_mpsim::{CrashPoint, FaultPlan};
+use armine_mpsim::{CrashPoint, ExecBackend, FaultPlan};
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams, ParallelRun};
+use std::io::Write;
 
 const PROCS: usize = 64;
 
@@ -119,4 +127,196 @@ pub fn run_crash_recovery() -> Table {
         ]);
     }
     table
+}
+
+/// Processor count for the backend comparison — small enough that native
+/// ranks map one-per-core on commodity hosts.
+const BOTH_PROCS: usize = 4;
+/// Default transactions for the backend comparison (override with
+/// `ARMINE_FAULTS_N`).
+pub const BOTH_TRANSACTIONS: usize = 20_000;
+
+/// One fault scenario measured on one backend.
+#[derive(Debug, Clone)]
+pub struct FaultPoint {
+    /// Scenario label ("fault-free", "drops 5%", …).
+    pub scenario: &'static str,
+    /// `ExecBackend::name()` the point ran on.
+    pub backend: &'static str,
+    /// Response time in seconds (virtual on sim, wall-clock on native).
+    pub response_s: f64,
+    /// Overhead vs the same backend's fault-free baseline, percent.
+    pub overhead_pct: f64,
+    /// Fault counters of the run.
+    pub retransmits: u64,
+    /// Failure-detector timeouts.
+    pub timeouts: u64,
+    /// Committed recoveries.
+    pub recoveries: u64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The fixed scenario ladder the backend comparison climbs: transient
+/// drops, a straggler, and a mid-run crash — identical plans on both
+/// backends.
+fn both_scenarios() -> Vec<(&'static str, Option<FaultPlan>)> {
+    vec![
+        ("fault-free", None),
+        ("drops 5%", Some(FaultPlan::new().seed(11).drop_rate(0.05))),
+        (
+            "straggler 2x",
+            Some(FaultPlan::new().seed(12).slowdown(1, 2.0)),
+        ),
+        (
+            "crash @ pass 2",
+            Some(
+                FaultPlan::new()
+                    .seed(13)
+                    .drop_rate(0.02)
+                    .crash(2, CrashPoint::AtPass(2)),
+            ),
+        ),
+    ]
+}
+
+/// Sweep 3: the same plans on both backends (CD, P=4). Lattice equality
+/// across every cell is asserted — faults and backends cost time, never
+/// answers.
+pub fn measure_both(n: usize) -> Vec<FaultPoint> {
+    let dataset = workloads::t15_i6(n, 6161);
+    let params = ParallelParams::with_min_support(0.01)
+        .page_size(500)
+        .max_k(3);
+    let scenarios = both_scenarios();
+    let mut points = Vec::new();
+    let mut reference: Option<usize> = None;
+    for backend in ExecBackend::ALL {
+        let miner = ParallelMiner::new(BOTH_PROCS).backend(backend);
+        let mut base: Option<f64> = None;
+        for (scenario, plan) in &scenarios {
+            let run = miner
+                .mine_with_faults(Algorithm::Cd, &dataset, &params, plan.as_ref())
+                .expect("every scenario in this sweep is recoverable");
+            let want = *reference.get_or_insert_with(|| lattice_len(&run));
+            assert_eq!(lattice_len(&run), want, "{scenario} on {backend} diverged");
+            let b = *base.get_or_insert(run.response_time);
+            points.push(FaultPoint {
+                scenario,
+                backend: backend.name(),
+                response_s: run.response_time,
+                overhead_pct: (run.response_time / b - 1.0) * 100.0,
+                retransmits: run.total_retransmits(),
+                timeouts: run.total_timeouts(),
+                recoveries: run.total_recoveries(),
+            });
+        }
+    }
+    points
+}
+
+/// Runs sweep 3, writes `experiments/BENCH_faults.json`, and returns the
+/// comparison table.
+pub fn run_both_backends() -> Table {
+    let n = env_usize("ARMINE_FAULTS_N", BOTH_TRANSACTIONS);
+    let points = measure_both(n);
+    match write_json(n, &points) {
+        Ok(path) => println!("(json: {})", path.display()),
+        Err(e) => eprintln!("(json write failed: {e})"),
+    }
+    let mut table = Table::new(
+        "Fault overhead — sim-predicted vs native-measured (CD, P=4)",
+        &[
+            "scenario",
+            "backend",
+            "response ms",
+            "overhead",
+            "retransmits",
+            "timeouts",
+            "recoveries",
+        ],
+    );
+    for p in &points {
+        table.row(&[
+            &p.scenario,
+            &p.backend,
+            &format!("{:.3}", p.response_s * 1e3),
+            &format!("{:+.1}%", p.overhead_pct),
+            &p.retransmits,
+            &p.timeouts,
+            &p.recoveries,
+        ]);
+    }
+    table
+}
+
+/// Hand-written JSON snapshot (no serde in the tree): sim-predicted vs
+/// measured fault overhead, machine-readable.
+fn write_json(n: usize, points: &[FaultPoint]) -> std::io::Result<std::path::PathBuf> {
+    let dir = experiments_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_faults.json");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"benchmark\": \"fault_overhead_sim_vs_native\",")?;
+    writeln!(f, "  \"workload\": \"T15.I6\",")?;
+    writeln!(f, "  \"transactions\": {n},")?;
+    writeln!(f, "  \"procs\": {BOTH_PROCS},")?;
+    writeln!(f, "  \"algorithm\": \"CD\",")?;
+    writeln!(f, "  \"host_cores\": {cores},")?;
+    writeln!(f, "  \"points\": [")?;
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"response_s\": {:.6}, \
+             \"overhead_pct\": {:.2}, \"retransmits\": {}, \"timeouts\": {}, \
+             \"recoveries\": {}}}{comma}",
+            p.scenario,
+            p.backend,
+            p.response_s,
+            p.overhead_pct,
+            p.retransmits,
+            p.timeouts,
+            p.recoveries
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_sweep_emits_all_cells_and_the_json() {
+        std::env::set_var("ARMINE_FAULTS_N", "400");
+        let table = run_both_backends();
+        std::env::remove_var("ARMINE_FAULTS_N");
+        // Four scenarios x two backends.
+        assert_eq!(table.len(), 8);
+        let crash_rows: Vec<_> = table
+            .rows()
+            .iter()
+            .filter(|r| r[0].contains("crash"))
+            .cloned()
+            .collect();
+        assert_eq!(crash_rows.len(), 2);
+        for row in &crash_rows {
+            let recoveries: u64 = row[6].parse().unwrap();
+            assert!(recoveries > 0, "crash scenario must recover: {row:?}");
+        }
+        let json = std::fs::read_to_string(experiments_dir().join("BENCH_faults.json")).unwrap();
+        assert!(json.contains("\"benchmark\": \"fault_overhead_sim_vs_native\""));
+        assert!(json.contains("\"backend\": \"native\""));
+        assert!(json.contains("\"recoveries\""));
+    }
 }

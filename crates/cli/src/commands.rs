@@ -42,7 +42,9 @@ ALGO: cd | npa | dd | dd-comm | idd | idd-1src | hd | hpa | pdm
 
 BACKEND: sim (default) prices the run on a virtual clock; native runs the
 same formulation at full speed on host threads and reports measured
-wall-clock times. Fault plans require the sim backend.
+wall-clock times. Fault plans run on either backend: sim injects faults
+on the virtual clock, native injects them for real (thread deaths,
+sleeps, retransmit timers) and recovers identically.
 ";
 
 /// Parses the subcommand and runs it.
@@ -222,13 +224,15 @@ fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>>
     params.memory_capacity = args.optional("memory-capacity")?;
     params.counter = parse_counter(args)?;
     let backend_name: String = args.or_default("backend", "sim".into())?;
-    let backend = ExecBackend::parse(&backend_name)
-        .ok_or_else(|| ArgError(format!("unknown backend {backend_name:?}")))?;
+    let backend = ExecBackend::parse(&backend_name).ok_or_else(|| {
+        let valid: Vec<&str> = ExecBackend::ALL.iter().map(|b| b.name()).collect();
+        ArgError(format!(
+            "unknown backend {backend_name:?} (valid: {})",
+            valid.join(", ")
+        ))
+    })?;
     let plan_path: Option<String> = args.optional("fault-plan")?;
     args.finish()?;
-    if plan_path.is_some() && backend == ExecBackend::Native {
-        return Err(ArgError("--fault-plan requires --backend sim".into()).into());
-    }
     let plan = match &plan_path {
         Some(path) => Some(FaultPlan::load(path).map_err(ArgError)?),
         None => None,
@@ -870,21 +874,23 @@ mod tests {
             &oob,
         ])
         .contains("out of range"));
-        // Crash plans need a crash-recoverable algorithm.
-        assert!(run_err(&[
+        // Every algorithm recovers from in-range crashes — NPA included.
+        let crash = temp("npa.plan");
+        std::fs::write(&crash, "crash 1 = pass:2\n").unwrap();
+        let o = run_ok(&[
             "parallel",
             "--input",
             &db,
             "--algorithm",
             "npa",
             "--procs",
-            "8",
+            "4",
             "--min-count",
             "3",
             "--fault-plan",
-            &oob,
-        ])
-        .contains("cannot recover from rank crashes"));
+            &crash,
+        ]);
+        assert!(o.contains("recoveries (1 crashed of 4 ranks)"), "{o}");
     }
 
     #[test]
@@ -921,8 +927,9 @@ mod tests {
         assert!(o.contains("CD on 4 native worker threads"), "{o}");
         assert!(o.contains("measured response time"), "{o}");
         assert!(o.contains("per-rank wall time"), "{o}");
-        // Unknown backends are rejected.
-        assert!(run_err(&[
+        // Unknown backends are rejected with the valid set listed;
+        // casing is forgiven like --counter.
+        let err = run_err(&[
             "parallel",
             "--input",
             &db,
@@ -934,12 +941,10 @@ mod tests {
             "3",
             "--backend",
             "turbo",
-        ])
-        .contains("turbo"));
-        // Fault plans require the sim backend.
-        let plan = temp("native.plan");
-        std::fs::write(&plan, "drop_rate = 0.1\n").unwrap();
-        assert!(run_err(&[
+        ]);
+        assert!(err.contains("turbo"), "{err}");
+        assert!(err.contains("valid: sim, native"), "{err}");
+        let o = run_ok(&[
             "parallel",
             "--input",
             &db,
@@ -949,12 +954,34 @@ mod tests {
             "2",
             "--min-count",
             "3",
+            "--max-k",
+            "3",
+            "--backend",
+            "NATIVE",
+        ]);
+        assert!(o.contains("native worker threads"), "{o}");
+        // Fault plans run for real on the native backend.
+        let plan = temp("native.plan");
+        std::fs::write(&plan, "drop_rate = 0.1\nrto = 0.0002\ncrash 1 = pass:2\n").unwrap();
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "3",
+            "--min-count",
+            "3",
+            "--max-k",
+            "3",
             "--backend",
             "native",
             "--fault-plan",
             &plan,
-        ])
-        .contains("requires --backend sim"));
+        ]);
+        assert!(o.contains("measured response time"), "{o}");
+        assert!(o.contains("recoveries (1 crashed of 3 ranks)"), "{o}");
     }
 
     #[test]

@@ -137,11 +137,8 @@ impl Comm {
         tracing: bool,
         plan: Option<Arc<FaultPlan>>,
         backend: ExecBackend,
+        wall_origin: Option<std::time::Instant>,
     ) -> Self {
-        debug_assert!(
-            backend == ExecBackend::Sim || plan.is_none(),
-            "fault plans require the sim backend"
-        );
         let slowdown = plan.as_ref().map_or(1.0, |p| p.slowdown_of(rank));
         let (crash_time, crash_pass) = match plan.as_ref().and_then(|p| p.crash_of(rank)) {
             Some(crate::fault::CrashPoint::AtTime(t)) => (Some(t), None),
@@ -168,7 +165,8 @@ impl Comm {
             dead: HashMap::new(),
             aborted: HashMap::new(),
             exited: HashMap::new(),
-            native: (backend == ExecBackend::Native).then(NativeState::new),
+            native: (backend == ExecBackend::Native)
+                .then(|| wall_origin.map_or_else(NativeState::new, NativeState::with_origin)),
         }
     }
 
@@ -222,23 +220,35 @@ impl Comm {
     }
 
     /// Fires a scheduled [`crate::CrashPoint::AtTime`] crash the moment
-    /// the clock has reached it: the clock is clamped back to the exact
-    /// crash time so the tombstone timestamp is independent of which
-    /// charge crossed it.
+    /// the clock has reached it. On the sim backend the clock is clamped
+    /// back to the exact crash time so the tombstone timestamp is
+    /// independent of which charge crossed it; on the native backend the
+    /// tombstone likewise carries the *scheduled* time (elapsed wall time
+    /// at the crossing charge point is scheduler-dependent).
     fn maybe_crash(&mut self) {
-        if let Some(t) = self.crash_time {
-            if self.clock >= t {
-                self.clock = t;
-                self.crash_now();
+        let Some(t) = self.crash_time else { return };
+        match &self.native {
+            Some(n) => {
+                if n.elapsed() >= t {
+                    self.crash_now_at(t);
+                }
+            }
+            None => {
+                if self.clock >= t {
+                    self.clock = t;
+                    self.crash_now_at(t);
+                }
             }
         }
     }
 
     /// Crashes this rank now: notify every peer with a tombstone carrying
-    /// the crash time, then unwind the thread with a payload the runtime
-    /// recognizes.
-    fn crash_now(&mut self) -> ! {
-        let at = self.clock;
+    /// the crash time `at`, then unwind the thread with a payload the
+    /// runtime recognizes. On the native backend the unwind is a *real*
+    /// worker-thread death — everything the rank was mid-way through is
+    /// torn down for real and `catch_unwind` in the runtime is what keeps
+    /// the run alive.
+    fn crash_now_at(&mut self, at: f64) -> ! {
         self.crash_time = None;
         self.crash_pass = None;
         for peer in 0..self.size {
@@ -252,17 +262,47 @@ impl Comm {
         });
     }
 
-    /// Declares that this rank is entering mining pass `pass` (1-based);
-    /// fires a scheduled [`crate::CrashPoint::AtPass`] crash on the sim
-    /// backend, records the pass boundary's wall time on the native one.
+    /// Declares that this rank is entering mining pass `pass` (1-based):
+    /// fires a scheduled [`crate::CrashPoint::AtPass`] crash on either
+    /// backend, and records the pass boundary's wall time on the native
+    /// one.
     pub fn enter_pass(&mut self, pass: usize) {
-        if let Some(n) = &mut self.native {
-            n.enter_pass(pass);
+        if self.native.is_some() {
+            let at = {
+                let n = self.native.as_mut().expect("native state present");
+                n.enter_pass(pass);
+                n.elapsed()
+            };
+            if self.crash_pass == Some(pass) {
+                self.crash_now_at(at);
+            }
             return;
         }
         if self.crash_pass == Some(pass) {
-            self.crash_now();
+            let at = self.clock;
+            self.crash_now_at(at);
         }
+    }
+
+    /// Native charge point: attribute the bracket since the previous
+    /// charge point, stretch it for stragglers (a slowdown-`s` rank really
+    /// sleeps `(s−1)×` the measured bracket, so its passes take `s×` as
+    /// long just like the sim's scaled charges), and fire any due
+    /// injected crash.
+    fn native_charge(&mut self, category: WallCategory, scale_slowdown: bool) {
+        let bracket = {
+            let n = self.native.as_mut().expect("native charge on sim backend");
+            n.attribute(category)
+        };
+        if scale_slowdown && self.slowdown > 1.0 {
+            let pad = bracket * (self.slowdown - 1.0);
+            if pad > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(pad));
+                let n = self.native.as_mut().expect("native state present");
+                n.attribute(category);
+            }
+        }
+        self.maybe_crash();
     }
 
     /// Sets the recovery-protocol attempt epoch: abort notifications only
@@ -281,7 +321,7 @@ impl Comm {
     /// and join recovery instead of waiting forever. Out-of-band control
     /// traffic: free on the virtual clock.
     pub fn send_abort(&mut self, peers: &[usize], epoch: u64) {
-        let at = self.clock;
+        let at = self.clock();
         for &peer in peers {
             if peer != self.rank {
                 self.send_control(peer, Packet::Abort { epoch, at });
@@ -322,8 +362,8 @@ impl Comm {
     /// work they price).
     pub fn advance(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "cannot advance time backwards");
-        if let Some(n) = &mut self.native {
-            n.attribute(WallCategory::Counting);
+        if self.native.is_some() {
+            self.native_charge(WallCategory::Counting, true);
             return;
         }
         let seconds = seconds * self.slowdown;
@@ -343,8 +383,8 @@ impl Comm {
     /// whatever built the [`CountingWork`] ledger — hash tree, trie, or
     /// any future backend — is charged through the same expression.
     pub fn charge_counting(&mut self, work: &CountingWork) {
-        if let Some(n) = &mut self.native {
-            n.attribute(WallCategory::Counting);
+        if self.native.is_some() {
+            self.native_charge(WallCategory::Counting, true);
             return;
         }
         let m = self.machine;
@@ -353,8 +393,10 @@ impl Comm {
 
     /// Charges I/O time for (re-)reading `bytes` from the database.
     pub fn charge_io(&mut self, bytes: usize) {
-        if let Some(n) = &mut self.native {
-            n.attribute(WallCategory::Io);
+        if self.native.is_some() {
+            // I/O is not straggler-scaled: the sim charges it unscaled too
+            // (slowdown models a slow CPU, not a slow disk).
+            self.native_charge(WallCategory::Io, false);
             return;
         }
         let t = bytes as f64 * self.machine.io_per_byte;
@@ -425,7 +467,39 @@ impl Comm {
         // full speed; no postal charges, arrival 0.0 (matching is by key,
         // never by time). The handle's completion of 0.0 makes wait_send
         // a no-op against the pinned-at-0.0 virtual clock.
+        //
+        // Fault injection runs for real here: each lost transmission
+        // attempt makes the sender *sleep out* the exponential ack-timeout
+        // backoff on the wall clock before retransmitting, and a delayed
+        // message carries a wall-clock arrival deadline the receiver
+        // honours in `complete_recv`. Which attempts are lost/delayed is
+        // still the same pure function of (seed, link, sequence, attempt)
+        // as in sim, so fault *placement* is reproducible even though
+        // wall-clock durations are not.
         if self.native.is_some() {
+            let mut arrival = 0.0;
+            if let Some(plan) = self.plan.clone() {
+                if plan.drop_rate > 0.0 || plan.delay_rate > 0.0 {
+                    let seq = self.link_seq[dst];
+                    self.link_seq[dst] += 1;
+                    let mut attempt: u32 = 0;
+                    while plan.drop_rate > 0.0
+                        && plan.u01(DECISION_DROP, self.rank, dst, seq, attempt) < plan.drop_rate
+                    {
+                        let backoff = plan.rto * (1u64 << attempt.min(16)) as f64;
+                        std::thread::sleep(std::time::Duration::from_secs_f64(backoff));
+                        self.stats.retransmits += 1;
+                        attempt += 1;
+                        assert!(attempt < 10_000, "retransmit runaway: drop_rate too high");
+                    }
+                    if plan.delay_rate > 0.0
+                        && plan.u01(DECISION_DELAY, self.rank, dst, seq, attempt) < plan.delay_rate
+                    {
+                        let now = self.native.as_ref().expect("native state").elapsed();
+                        arrival = now + plan.delay;
+                    }
+                }
+            }
             self.stats.messages_sent += 1;
             self.stats.bytes_sent += bytes as u64;
             let env = Envelope {
@@ -434,16 +508,16 @@ impl Comm {
                     src: self.rank,
                     tag,
                 },
-                arrival: 0.0,
+                arrival,
                 bytes,
                 packet: Packet::Data(payload),
             };
             self.senders[dst]
                 .send(env)
                 .expect("peer mailbox closed (peer panicked?)");
-            if let Some(n) = &mut self.native {
-                n.attribute(WallCategory::Exchange);
-            }
+            // Attributes the send (including any backoff sleeps) to
+            // exchange and fires a due injected crash.
+            self.native_charge(WallCategory::Exchange, false);
             return SendHandle { completion: 0.0 };
         }
         // Fault injection: lost transmission attempts cost the sender a
@@ -540,9 +614,19 @@ impl Comm {
     }
 
     /// Charges the failure-detector wait for concluding that `src` (which
-    /// crashed at `at`) is dead, and counts the timeout.
+    /// crashed at `at`) is dead, and counts the timeout. On the native
+    /// backend the detector really waits out its confirmation window on
+    /// the wall clock before declaring the peer dead.
     fn charge_detect(&mut self, src: usize, at: f64) -> RecvFault {
         let timeout = self.plan.as_ref().map_or(0.0, |p| p.detect_timeout);
+        if self.native.is_some() {
+            if timeout > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(timeout));
+            }
+            self.stats.timeouts += 1;
+            self.native_charge(WallCategory::Exchange, false);
+            return RecvFault::Dead { rank: src, at };
+        }
         let target = self.clock.max(at) + timeout;
         self.stats.idle += target - self.clock;
         self.clock = target;
@@ -567,7 +651,7 @@ impl Comm {
             if honor_aborts {
                 if let Some(&(epoch, at)) = self.aborted.get(&key.src) {
                     if epoch == self.epoch {
-                        if at > self.clock {
+                        if self.native.is_none() && at > self.clock {
                             self.stats.idle += at - self.clock;
                             self.clock = at;
                             self.maybe_crash();
@@ -590,10 +674,36 @@ impl Comm {
                     key.src, self.rank, key.scope, key.tag
                 );
             }
-            let env = self
-                .inbox
-                .recv()
-                .expect("all peers disconnected while a receive was pending");
+            // Native runs with a fault plan never block indefinitely:
+            // the wait is sliced by the failure detector's deadline so the
+            // rank periodically re-checks its own scheduled crash (a rank
+            // due to die must not sit forever in a receive its own death
+            // would unblock). Peer-fate maps only change when control
+            // packets are drained, so the slice loop re-entering `recv` is
+            // enough — the dead/aborted checks above re-run once a
+            // tombstone or abort actually arrives.
+            let env = if self.native.is_some() && self.plan.is_some() {
+                let slice = self
+                    .plan
+                    .as_ref()
+                    .map_or(1e-3, |p| p.detect_timeout)
+                    .max(1e-4);
+                let slice = std::time::Duration::from_secs_f64(slice);
+                loop {
+                    use crossbeam::channel::RecvTimeoutError;
+                    match self.inbox.recv_timeout(slice) {
+                        Ok(env) => break env,
+                        Err(RecvTimeoutError::Timeout) => self.maybe_crash(),
+                        Err(RecvTimeoutError::Disconnected) => {
+                            panic!("all peers disconnected while a receive was pending")
+                        }
+                    }
+                }
+            } else {
+                self.inbox
+                    .recv()
+                    .expect("all peers disconnected while a receive was pending")
+            };
             if env.is_data() {
                 if env.key == key {
                     return Ok(env);
@@ -617,13 +727,21 @@ impl Comm {
 
     fn complete_recv(&mut self, env: &Envelope) {
         // Native backend: the blocking wait in `match_raw_ft` already
-        // happened for real; attribute the bracket to exchange.
+        // happened for real; attribute the bracket to exchange. A message
+        // an injected fault marked as delayed carries a wall-clock arrival
+        // deadline (all ranks share one wall origin) that the receiver
+        // waits out — causality for real: it cannot complete the receive
+        // before the delayed copy "arrives".
         if self.native.is_some() {
+            if env.arrival > 0.0 {
+                let now = self.native.as_ref().expect("native state").elapsed();
+                if env.arrival > now {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(env.arrival - now));
+                }
+            }
             self.stats.messages_received += 1;
             self.stats.bytes_received += env.bytes as u64;
-            if let Some(n) = &mut self.native {
-                n.attribute(WallCategory::Exchange);
-            }
+            self.native_charge(WallCategory::Exchange, false);
             return;
         }
         // Causality: cannot complete before the message arrived.
@@ -964,6 +1082,44 @@ impl<'a> Scope<'a> {
         have.expect("broadcast must deliver to every member")
     }
 
+    /// Fault-aware [`Scope::broadcast`]: fails when the member this rank
+    /// would receive its copy from crashed or aborted mid-collective.
+    /// Same binomial tree and tags as the infallible variant, so the two
+    /// are wire-compatible.
+    pub fn try_broadcast<T: Clone + Send + 'static>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+        bytes: usize,
+    ) -> Result<T, RecvFault> {
+        let p = self.members.len();
+        assert!(root < p, "broadcast root out of range");
+        let me = (self.my_index + p - root) % p;
+        let mut have: Option<T> = if me == 0 {
+            Some(value.expect("root must supply the broadcast value"))
+        } else {
+            None
+        };
+        let rounds = p.next_power_of_two().trailing_zeros() as usize;
+        for round in 0..rounds {
+            let bit = 1usize << round;
+            let tag = COLLECTIVE_TAG | (3 << 32) | round as u64;
+            if me < bit {
+                let partner = me + bit;
+                if partner < p {
+                    let to = (partner + root) % p;
+                    let v = have.clone().expect("sender must hold the value");
+                    self.send(to, tag, v, bytes);
+                }
+            } else if me < 2 * bit {
+                let partner = me - bit;
+                let from = (partner + root) % p;
+                have = Some(self.try_recv(from, tag)?);
+            }
+        }
+        Ok(have.expect("broadcast must deliver to every member"))
+    }
+
     /// All-to-one gather to local rank `root`: returns `Some(values)` in
     /// member order at the root, `None` elsewhere. Linear algorithm (the
     /// root's single port serializes the receives anyway).
@@ -978,9 +1134,9 @@ impl<'a> Scope<'a> {
         assert!(root < p, "gather root out of range");
         let tag = COLLECTIVE_TAG | 4 << 32;
         if self.my_index == root {
-            #[allow(clippy::needless_range_loop)] // `from` is a rank, not just an index
             let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
             out[root] = Some(value);
+            #[allow(clippy::needless_range_loop)] // `from` is a rank, not just an index
             for from in 0..p {
                 if from != root {
                     out[from] = Some(self.recv(from, tag));
@@ -990,6 +1146,34 @@ impl<'a> Scope<'a> {
         } else {
             self.send(root, tag, value, bytes);
             None
+        }
+    }
+
+    /// Fault-aware [`Scope::gather`]: the root fails when a contributing
+    /// member crashed or aborted before sending. Same linear algorithm
+    /// and tag as the infallible variant.
+    pub fn try_gather<T: Send + 'static>(
+        &mut self,
+        root: usize,
+        value: T,
+        bytes: usize,
+    ) -> Result<Option<Vec<T>>, RecvFault> {
+        let p = self.members.len();
+        assert!(root < p, "gather root out of range");
+        let tag = COLLECTIVE_TAG | 4 << 32;
+        if self.my_index == root {
+            let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+            out[root] = Some(value);
+            #[allow(clippy::needless_range_loop)] // `from` is a rank, not just an index
+            for from in 0..p {
+                if from != root {
+                    out[from] = Some(self.try_recv(from, tag)?);
+                }
+            }
+            Ok(Some(out.into_iter().map(Option::unwrap).collect()))
+        } else {
+            self.send(root, tag, value, bytes);
+            Ok(None)
         }
     }
 

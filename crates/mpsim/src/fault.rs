@@ -210,6 +210,28 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// Checks the plan against a concrete rank count: every crashed or
+    /// slowed rank must exist in a `procs`-rank run. [`FaultPlan::validate`]
+    /// is P-agnostic (a plan file is reusable across run sizes); this is
+    /// the check a runner applies once P is known, so `crash 99 = pass:2`
+    /// on a P=8 run errors instead of being silently inert.
+    pub fn validate_for_procs(&self, procs: usize) -> Result<(), String> {
+        self.validate()?;
+        if let Some(&rank) = self.crashes.keys().find(|&&r| r >= procs) {
+            return Err(format!(
+                "crash rank {rank} is out of range for {procs} ranks (valid: 0..={})",
+                procs.saturating_sub(1)
+            ));
+        }
+        if let Some(&rank) = self.slowdowns.keys().find(|&&r| r >= procs) {
+            return Err(format!(
+                "slowdown rank {rank} is out of range for {procs} ranks (valid: 0..={})",
+                procs.saturating_sub(1)
+            ));
+        }
+        Ok(())
+    }
+
     /// A deterministic uniform variate in `[0, 1)` for fault decision
     /// `decision` of attempt `attempt` of the `seq`-th message on the
     /// `src → dst` link.
@@ -326,6 +348,52 @@ impl FromStr for FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Satellite: every generated plan's Display output reparses to an
+        // equal plan (Display ↔ FromStr are exact inverses on valid
+        // plans). Stragglers and crashes arrive as packed integers (the
+        // vendored proptest has no tuple strategies): rank in the low
+        // bits, factor/point above.
+        #[test]
+        fn display_fromstr_round_trips(
+            seed in 0u64..u64::MAX,
+            drop_pct in 0u64..96,   // drop_rate within [0, 0.95]
+            delay_pct in 0u64..101,
+            delay_us in 0u64..1_000,
+            rto_us in 1u64..1_000,  // positive: drop_rate may be > 0
+            detect_us in 0u64..10_000,
+            slow_packed in prop::collection::vec(0u64..16 * 40, 0..4),
+            crash_packed in prop::collection::vec(0u64..16 * 2 * 8, 0..4),
+        ) {
+            let mut plan = FaultPlan::new()
+                .seed(seed)
+                .drop_rate(drop_pct as f64 / 100.0)
+                .delays(delay_pct as f64 / 100.0, delay_us as f64 * 1e-6)
+                .rto(rto_us as f64 * 1e-6)
+                .detect_timeout(detect_us as f64 * 1e-6);
+            for &x in &slow_packed {
+                // factor in [1.0, 4.9] by tenths, rank in 0..16.
+                plan = plan.slowdown((x % 16) as usize, 1.0 + (x / 16) as f64 / 10.0);
+            }
+            for &x in &crash_packed {
+                let (rank, rest) = ((x % 16) as usize, x / 16);
+                let (kind, val) = (rest % 2, rest / 2 + 1);
+                let point = if kind == 0 {
+                    CrashPoint::AtPass(val as usize)
+                } else {
+                    CrashPoint::AtTime(val as f64 * 1e-4)
+                };
+                plan = plan.crash(rank, point);
+            }
+            prop_assert!(plan.validate().is_ok(), "generator made invalid plan: {plan}");
+            let reparsed: FaultPlan = plan.to_string().parse().expect("reparse");
+            prop_assert_eq!(reparsed, plan);
+        }
+    }
 
     #[test]
     fn text_format_round_trips() {
@@ -350,6 +418,52 @@ mod tests {
             .expect("parses");
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.drop_rate, 0.1);
+    }
+
+    #[test]
+    fn duplicate_keys_last_one_wins() {
+        let plan: FaultPlan = "seed = 1\nseed = 2\nslowdown 3 = 2.0\nslowdown 3 = 4.0\n\
+                               crash 1 = pass:2\ncrash 1 = time:0.5\n"
+            .parse()
+            .expect("parses");
+        assert_eq!(plan.seed, 2);
+        assert_eq!(plan.slowdown_of(3), 4.0);
+        assert_eq!(plan.crash_of(1), Some(CrashPoint::AtTime(0.5)));
+        assert_eq!(plan.crashed_ranks(), vec![1]);
+    }
+
+    #[test]
+    fn whitespace_only_and_comment_only_input_is_a_default_plan() {
+        let plan: FaultPlan = "\n   \n# nothing here\n\t\n".parse().expect("parses");
+        assert_eq!(plan, FaultPlan::default());
+        assert!("".parse::<FaultPlan>().expect("empty").is_fault_free());
+    }
+
+    #[test]
+    fn validate_for_procs_flags_out_of_range_ranks() {
+        let plan = FaultPlan::new().crash(99, CrashPoint::AtPass(2));
+        assert!(plan.validate().is_ok(), "P-agnostic validate must pass");
+        let err = plan.validate_for_procs(8).unwrap_err();
+        assert!(err.contains("99") && err.contains("8 ranks"), "{err}");
+
+        let plan = FaultPlan::new().slowdown(8, 2.0);
+        let err = plan.validate_for_procs(8).unwrap_err();
+        assert!(
+            err.contains("slowdown rank 8") && err.contains("0..=7"),
+            "{err}"
+        );
+        assert!(plan.validate_for_procs(9).is_ok());
+
+        // In-range plans pass, and parameter errors still surface.
+        assert!(FaultPlan::new()
+            .crash(7, CrashPoint::AtPass(2))
+            .slowdown(0, 3.0)
+            .validate_for_procs(8)
+            .is_ok());
+        assert!(FaultPlan::new()
+            .drop_rate(2.0)
+            .validate_for_procs(8)
+            .is_err());
     }
 
     #[test]

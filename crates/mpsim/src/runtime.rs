@@ -62,7 +62,8 @@ impl Simulator {
     /// Selects the execution backend: [`ExecBackend::Sim`] (virtual time,
     /// the default) or [`ExecBackend::Native`] (full-speed wall-clock
     /// execution with per-rank [`WallTimings`] in [`SimResult::wall`]).
-    /// Native runs reject fault plans.
+    /// Fault plans run on either backend; on native, injected faults are
+    /// real (thread panics, sleeps, wall-clock retransmit timers).
     pub fn backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
         self
@@ -150,10 +151,12 @@ impl Simulator {
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
         silence_fault_unwinds();
-        if self.backend == ExecBackend::Native {
-            assert!(self.plan.is_none(), "fault plans require the sim backend");
-        }
         let p = self.procs;
+        // One wall origin for the whole run: native fault machinery
+        // compares cross-rank timestamps (delayed-arrival deadlines,
+        // crash tombstones), so every rank must measure from the same
+        // instant.
+        let wall_origin = (self.backend == ExecBackend::Native).then(std::time::Instant::now);
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..p).map(|_| unbounded::<Envelope>()).unzip();
         type RankResult<T> = (Option<T>, RankStats, Vec<TraceEvent>, Option<WallTimings>);
@@ -173,7 +176,16 @@ impl Simulator {
                 let backend = self.backend;
                 handles.push(scope.spawn(move || -> RankOutcome<T> {
                     let mut comm = Comm::new(
-                        rank, p, machine, topology, senders, inbox, tracing, plan, backend,
+                        rank,
+                        p,
+                        machine,
+                        topology,
+                        senders,
+                        inbox,
+                        tracing,
+                        plan,
+                        backend,
+                        wall_origin,
                     );
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm))) {
                         Ok(value) => {
@@ -863,12 +875,133 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fault plans require the sim backend")]
-    fn native_backend_rejects_fault_plans() {
-        t3e(2)
+    fn native_backend_runs_fault_plans_for_real() {
+        // Drops + a straggler on the native backend: every message still
+        // arrives (retransmit machinery), lost copies really cost wall
+        // time, and the straggler's sleeps stretch its counting bracket.
+        let r = t3e(2)
             .backend(ExecBackend::Native)
-            .fault_plan(FaultPlan::new().seed(1).drop_rate(0.1))
-            .run(|comm| comm.rank());
+            .fault_plan(
+                FaultPlan::new()
+                    .seed(3)
+                    .drop_rate(0.4)
+                    .rto(2e-4)
+                    .slowdown(1, 3.0),
+            )
+            .run(|comm| {
+                let mut w = comm.world();
+                if w.rank() == 0 {
+                    for i in 0..50u64 {
+                        w.send(1, i, i, 64);
+                    }
+                    0
+                } else {
+                    let mut sum = 0;
+                    for i in 0..50u64 {
+                        let got: u64 = w.recv(0, i);
+                        assert_eq!(got, i);
+                        sum += got;
+                    }
+                    w.comm().advance(0.0); // charge point: bracket the recv loop
+                    sum
+                }
+            });
+        assert_eq!(r.results, vec![0, (0..50).sum::<u64>()]);
+        assert!(
+            r.ranks[0].retransmits > 5,
+            "drop rate 0.4 over 50 sends: {} retransmits",
+            r.ranks[0].retransmits
+        );
+        // Each retransmit slept at least one base RTO of real time.
+        let min_wall = r.ranks[0].retransmits as f64 * 2e-4;
+        assert!(
+            r.wall[0].total >= min_wall,
+            "sender wall {} < {} (RTO sleeps missing)",
+            r.wall[0].total,
+            min_wall
+        );
+    }
+
+    #[test]
+    fn native_crash_is_a_real_thread_death_detected_by_timeout() {
+        // Rank 1 panics for real mid-run; rank 0's blocking receive must
+        // surface Dead instead of hanging, bounded by the detector
+        // deadline.
+        let r = t3e(2)
+            .backend(ExecBackend::Native)
+            .fault_plan(
+                FaultPlan::new()
+                    .crash(1, CrashPoint::AtTime(2e-3))
+                    .detect_timeout(1e-3),
+            )
+            .run_with_faults(|comm| {
+                if comm.rank() == 1 {
+                    // Spin past the scheduled crash time: the next charge
+                    // point fires the injected panic.
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        comm.advance(0.0);
+                    }
+                }
+                comm.world().try_recv::<u64>(1, 5)
+            });
+        assert!(r.results[1].is_none(), "crashed rank yields no result");
+        let fault = r.results[0].unwrap().unwrap_err();
+        assert_eq!(fault, RecvFault::Dead { rank: 1, at: 2e-3 });
+        assert_eq!(r.ranks[0].timeouts, 1);
+        // The crashed rank's wall timings still exist (time up to death).
+        assert_eq!(r.wall.len(), 2);
+    }
+
+    #[test]
+    fn native_pass_boundary_crash_fires_on_enter_pass() {
+        let r = t3e(2)
+            .backend(ExecBackend::Native)
+            .fault_plan(FaultPlan::new().crash(0, CrashPoint::AtPass(2)))
+            .run_with_faults(|comm| {
+                comm.enter_pass(1);
+                comm.advance(0.0);
+                comm.enter_pass(2);
+                comm.advance(0.0);
+                comm.rank()
+            });
+        assert!(r.results[0].is_none());
+        assert_eq!(r.results[1], Some(1));
+        // The dead rank entered pass 2 (the boundary is recorded before
+        // the crash fires) but never finished it.
+        assert_eq!(
+            r.wall[0]
+                .pass_starts
+                .iter()
+                .map(|&(k, _)| k)
+                .collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn native_delayed_messages_wait_out_their_deadline() {
+        let delay = 5e-3;
+        let r = t3e(2)
+            .backend(ExecBackend::Native)
+            .fault_plan(FaultPlan::new().seed(7).delays(1.0, delay))
+            .run(move |comm| {
+                let mut w = comm.world();
+                if w.rank() == 0 {
+                    w.send(1, 0, 42u64, 8);
+                    0.0
+                } else {
+                    let _: u64 = w.recv(0, 0);
+                    w.comm().clock()
+                }
+            });
+        // delay_rate 1.0: the receive cannot complete before the delayed
+        // copy's wall-clock arrival deadline.
+        assert!(
+            r.results[1] >= delay,
+            "receiver finished at {} < delay {delay}",
+            r.results[1]
+        );
     }
 
     // --- fault injection -------------------------------------------------

@@ -20,10 +20,13 @@ pub struct RankStats {
     /// Bytes received.
     pub bytes_received: u64,
     /// Transmission attempts lost to injected faults and re-sent after an
-    /// ack-timeout backoff (0 in fault-free runs).
+    /// ack-timeout backoff (0 in fault-free runs). The backoff is charged
+    /// to the virtual clock on the sim backend and really slept out on
+    /// the wall clock on the native one.
     pub retransmits: u64,
     /// Failure-detector timeouts: receives that concluded the awaited
-    /// peer was dead.
+    /// peer was dead (after waiting out the plan's `detect_timeout` — in
+    /// virtual time on sim, real time on native).
     pub timeouts: u64,
     /// Recovery events this rank committed (memberships shrunk and work
     /// redistributed after a peer crash).

@@ -26,11 +26,16 @@ pub enum ExecBackend {
     #[default]
     Sim,
     /// Native wall-clock execution: no charges, real elapsed time measured
-    /// per rank. Fault plans are not supported on this backend.
+    /// per rank. Fault plans run for real here: injected crashes are
+    /// worker-thread panics, stragglers sleep, and drops retransmit
+    /// against wall-clock RTO timers (see the fault module).
     Native,
 }
 
 impl ExecBackend {
+    /// Every backend, in CLI listing order.
+    pub const ALL: [ExecBackend; 2] = [ExecBackend::Sim, ExecBackend::Native];
+
     /// Short name ("sim" / "native").
     pub fn name(&self) -> &'static str {
         match self {
@@ -39,13 +44,11 @@ impl ExecBackend {
         }
     }
 
-    /// Parses a backend name as the CLI spells it.
+    /// Parses a backend name as the CLI spells it (case-insensitive).
     pub fn parse(name: &str) -> Option<Self> {
-        match name {
-            "sim" => Some(ExecBackend::Sim),
-            "native" => Some(ExecBackend::Native),
-            _ => None,
-        }
+        Self::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
     }
 }
 
@@ -109,8 +112,15 @@ pub(crate) struct NativeState {
 
 impl NativeState {
     pub fn new() -> Self {
+        Self::with_origin(Instant::now())
+    }
+
+    /// A state measuring from `origin`, so every rank of one run shares a
+    /// common epoch and cross-rank timestamps (delayed-arrival deadlines,
+    /// crash tombstones) are comparable.
+    pub fn with_origin(origin: Instant) -> Self {
         NativeState {
-            origin: Instant::now(),
+            origin,
             last_mark: 0.0,
             timings: WallTimings::default(),
         }
@@ -126,8 +136,10 @@ impl NativeState {
         &self.timings
     }
 
-    /// Attributes the time since the previous charge point to `category`.
-    pub fn attribute(&mut self, category: WallCategory) {
+    /// Attributes the time since the previous charge point to `category`
+    /// and returns the bracket length in seconds (the straggler machinery
+    /// scales injected sleeps by it).
+    pub fn attribute(&mut self, category: WallCategory) -> f64 {
         let now = self.elapsed();
         let bracket = (now - self.last_mark).max(0.0);
         match category {
@@ -136,6 +148,7 @@ impl NativeState {
             WallCategory::Io => self.timings.io += bracket,
         }
         self.last_mark = now;
+        bracket
     }
 
     /// Records a pass boundary.
@@ -157,10 +170,12 @@ mod tests {
 
     #[test]
     fn backend_names_round_trip() {
-        for b in [ExecBackend::Sim, ExecBackend::Native] {
+        for b in ExecBackend::ALL {
             assert_eq!(ExecBackend::parse(b.name()), Some(b));
+            assert_eq!(ExecBackend::parse(&b.name().to_uppercase()), Some(b));
             assert_eq!(b.to_string(), b.name());
         }
+        assert_eq!(ExecBackend::parse("Native"), Some(ExecBackend::Native));
         assert_eq!(ExecBackend::parse("quantum"), None);
         assert_eq!(ExecBackend::default(), ExecBackend::Sim);
     }

@@ -30,10 +30,12 @@ use crate::config::ParallelParams;
 use armine_core::counter::CounterStats;
 use armine_core::stable_hash::owner_of;
 use armine_core::ItemSet;
-use armine_mpsim::Comm;
+use armine_mpsim::{Comm, RecvFault};
 use std::collections::{HashMap, HashSet};
 
-/// One HPA counting pass.
+/// One HPA counting pass. All addressing is by member index within the
+/// current attempt's scope, so the pass re-runs cleanly under a shrunken
+/// membership (candidate ownership simply re-hashes over the survivors).
 #[allow(clippy::needless_range_loop)] // loop variables are peer ranks
 pub(crate) fn count_pass(
     comm: &mut Comm,
@@ -43,9 +45,9 @@ pub(crate) fn count_pass(
     prev_level: &[(ItemSet, u64)],
     _params: &ParallelParams,
     eld_permille: u32,
-) -> PassResult {
-    let p = comm.size();
-    let me = comm.rank();
+) -> Result<PassResult, RecvFault> {
+    let p = ctx.size();
+    let me = ctx.my_index;
     let total = candidates.len();
     let machine = *comm.machine();
 
@@ -107,7 +109,7 @@ pub(crate) fn count_pass(
     // enumerates subsets of one local page, ships them to their owners,
     // then drains and probes the subsets it received.
     let my_pages = paginate(&ctx.local, ctx.page_size);
-    let page_counts: Vec<u64> = comm.world().allgather(my_pages.len() as u64, 8);
+    let page_counts: Vec<u64> = ctx.world(comm).try_allgather(my_pages.len() as u64, 8)?;
     let max_pages = page_counts.iter().copied().max().unwrap_or(0) as usize;
 
     let mut stats = CounterStats::default();
@@ -147,7 +149,7 @@ pub(crate) fn count_pass(
         // Ship each processor its batch (one message per destination per
         // round, like the original's bucket sends).
         {
-            let mut world = comm.world();
+            let mut world = ctx.world(comm);
             for other in 0..p {
                 if other == me {
                     continue;
@@ -162,7 +164,7 @@ pub(crate) fn count_pass(
                 if other == me || round >= page_counts[other] as usize {
                     continue;
                 }
-                let batch: Vec<ItemSet> = world.recv(other, TAG_DATA | (round as u64) << 8);
+                let batch: Vec<ItemSet> = world.try_recv(other, TAG_DATA | (round as u64) << 8)?;
                 inbound += batch.len() as u64;
                 for subset in batch {
                     if let Some(c) = owned.get_mut(&subset) {
@@ -183,10 +185,11 @@ pub(crate) fn count_pass(
     hot_sorted.sort();
     let mut hot_vec: Vec<u64> = hot_sorted.iter().map(|c| hot_counts[c]).collect();
     if !hot_vec.is_empty() {
-        comm.world().allreduce_sum_u64(&mut hot_vec);
+        ctx.world(comm).try_allreduce_sum_u64(&mut hot_vec)?;
     }
-    // Owned candidates already have complete counts. Rank 0 contributes
-    // the hot survivors so the merged level stays a disjoint union.
+    // Owned candidates already have complete counts. The first member
+    // contributes the hot survivors so the merged level stays a disjoint
+    // union.
     let mut mine_frequent: Vec<(ItemSet, u64)> = owned
         .into_iter()
         .filter(|&(_, c)| c >= ctx.min_count)
@@ -201,15 +204,15 @@ pub(crate) fn count_pass(
     }
     mine_frequent.sort_by(|a, b| a.0.cmp(&b.0));
     let bytes = level_wire_size(&mine_frequent);
-    let all = comm.world().allgather(mine_frequent, bytes);
-    PassResult {
+    let all = ctx.world(comm).try_allgather(mine_frequent, bytes)?;
+    Ok(PassResult {
         level: merge_levels(all),
         stats,
         db_scans: 1,
         grid: (p, 1),
         candidate_imbalance,
         counted_candidates: None,
-    }
+    })
 }
 
 fn imbalance_of(loads: &[u64]) -> f64 {

@@ -77,24 +77,6 @@ impl Algorithm {
             Algorithm::Pdm { .. } => "PDM",
         }
     }
-
-    /// Whether the formulation can recover from rank crashes (transient
-    /// faults — message loss and stragglers — are transparent to all of
-    /// them). The paper's five principals plus PDM share the pass-boundary
-    /// recovery protocol; the related-work reproductions (HPA, NPA) and
-    /// single-source IDD have structurally special ranks (hash owners,
-    /// the coordinator, the data source) whose loss is not survivable.
-    pub fn supports_crash_recovery(&self) -> bool {
-        match self {
-            Algorithm::Cd
-            | Algorithm::Dd
-            | Algorithm::DdComm
-            | Algorithm::Idd
-            | Algorithm::Hd { .. }
-            | Algorithm::Pdm { .. } => true,
-            Algorithm::Hpa { .. } | Algorithm::IddSingleSource | Algorithm::Npa => false,
-        }
-    }
 }
 
 /// Why a fault-injected mining run could not produce a result.
@@ -102,12 +84,6 @@ impl Algorithm {
 pub enum FaultRunError {
     /// The plan crashed every rank: no survivor holds the lattice.
     AllRanksCrashed,
-    /// The plan crashes ranks but the algorithm cannot recover from
-    /// crashes (see [`Algorithm::supports_crash_recovery`]).
-    UnsupportedAlgorithm {
-        /// `Algorithm::name()` of the rejected formulation.
-        algorithm: &'static str,
-    },
     /// The plan failed validation (out-of-range rates, bad crash ranks…).
     InvalidPlan(String),
 }
@@ -117,9 +93,6 @@ impl std::fmt::Display for FaultRunError {
         match self {
             FaultRunError::AllRanksCrashed => {
                 write!(f, "every rank crashed before the mining completed")
-            }
-            FaultRunError::UnsupportedAlgorithm { algorithm } => {
-                write!(f, "{algorithm} cannot recover from rank crashes")
             }
             FaultRunError::InvalidPlan(why) => write!(f, "invalid fault plan: {why}"),
         }
@@ -153,7 +126,9 @@ impl ParallelMiner {
     /// Selects the execution backend: virtual-time simulation (the
     /// default) or native wall-clock execution, where the same pass
     /// drivers run at full hardware speed and [`ParallelRun::wall`]
-    /// carries per-rank measured timings. Native runs reject fault plans.
+    /// carries per-rank measured timings. Fault plans run on both
+    /// backends: injected on the virtual clock under sim, for real
+    /// (thread deaths, sleeps, retransmit timers) under native.
     pub fn backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
         self
@@ -197,9 +172,11 @@ impl ParallelMiner {
     /// correctness; crashes trigger pass-boundary recovery — survivors
     /// agree on the shrunken membership, adopt the dead rank's share of
     /// the database, and re-execute only the interrupted pass, so the
-    /// mined itemsets are bit-identical to a fault-free run. Fails when
-    /// the plan is invalid, crashes an algorithm that cannot recover, or
-    /// kills every rank.
+    /// mined itemsets are bit-identical to a fault-free run. All nine
+    /// formulations recover (structurally special roles — NPA's
+    /// coordinator, HPA's hash owners, IDD-1src's data source — are
+    /// re-assigned or worked around after adoption). Fails when the plan
+    /// is invalid or kills every rank.
     pub fn mine_with_faults(
         &self,
         algorithm: Algorithm,
@@ -207,26 +184,9 @@ impl ParallelMiner {
         params: &ParallelParams,
         plan: Option<&FaultPlan>,
     ) -> Result<ParallelRun, FaultRunError> {
-        if plan.is_some() && self.backend == ExecBackend::Native {
-            return Err(FaultRunError::InvalidPlan(
-                "fault plans require the sim backend".into(),
-            ));
-        }
         if let Some(plan) = plan {
-            plan.validate().map_err(FaultRunError::InvalidPlan)?;
-            if plan.has_crashes() {
-                if !algorithm.supports_crash_recovery() {
-                    return Err(FaultRunError::UnsupportedAlgorithm {
-                        algorithm: algorithm.name(),
-                    });
-                }
-                if let Some(&r) = plan.crashed_ranks().iter().find(|&&r| r >= self.procs) {
-                    return Err(FaultRunError::InvalidPlan(format!(
-                        "crash of rank {r} is out of range for {} processors",
-                        self.procs
-                    )));
-                }
-            }
+            plan.validate_for_procs(self.procs)
+                .map_err(FaultRunError::InvalidPlan)?;
         }
         // Single-source mode: the whole database sits on rank 0.
         let parts = if algorithm == Algorithm::IddSingleSource {
@@ -283,23 +243,13 @@ impl ParallelMiner {
                     Algorithm::Hd { group_threshold } => {
                         hd::count_pass(comm, ctx, k, candidates, &params_copy, group_threshold)
                     }
-                    Algorithm::Hpa { eld_permille } => Ok(hpa::count_pass(
-                        comm,
-                        ctx,
-                        k,
-                        candidates,
-                        prev,
-                        &params_copy,
-                        eld_permille,
-                    )),
-                    Algorithm::IddSingleSource => Ok(idd::count_pass_single_source(
-                        comm,
-                        ctx,
-                        k,
-                        candidates,
-                        &params_copy,
-                    )),
-                    Algorithm::Npa => Ok(npa::count_pass(comm, ctx, k, candidates, &params_copy)),
+                    Algorithm::Hpa { eld_permille } => {
+                        hpa::count_pass(comm, ctx, k, candidates, prev, &params_copy, eld_permille)
+                    }
+                    Algorithm::IddSingleSource => {
+                        idd::count_pass_single_source(comm, ctx, k, candidates, &params_copy)
+                    }
+                    Algorithm::Npa => npa::count_pass(comm, ctx, k, candidates, &params_copy),
                     Algorithm::Pdm {
                         buckets,
                         filter_passes,
@@ -697,30 +647,49 @@ mod tests {
         }
     }
 
+    /// The formulations with structurally special ranks — NPA's
+    /// coordinator, HPA's hash owners, IDD-1src's data source — recover
+    /// too, including from the death of the special rank itself.
     #[test]
-    fn crashing_plans_are_rejected_for_unsupported_algorithms() {
+    fn special_role_algorithms_recover_from_crashes() {
         use armine_mpsim::{CrashPoint, FaultPlan};
-        let dataset = quest(120, 40, 59);
-        let params = ParallelParams::with_min_support_count(6).max_k(3);
+        let dataset = quest(240, 70, 59);
+        let params = ParallelParams::with_min_support_count(8)
+            .page_size(40)
+            .max_k(4);
         let miner = ParallelMiner::new(4);
-        let plan = FaultPlan::new().crash(1, CrashPoint::AtPass(2));
         for algo in [
             Algorithm::Npa,
-            Algorithm::Hpa { eld_permille: 0 },
+            Algorithm::Hpa { eld_permille: 200 },
             Algorithm::IddSingleSource,
         ] {
-            assert_eq!(
-                miner
+            let clean = miner.mine(algo, &dataset, &params);
+            let want: Vec<(ItemSet, u64)> =
+                clean.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+            // Rank 0 is the coordinator (NPA), the hot-set contributor
+            // (HPA-ELD), and the data source (IDD-1src) — kill it, and a
+            // bystander too.
+            for victim in [0usize, 2] {
+                let plan = FaultPlan::new()
+                    .seed(7)
+                    .crash(victim, CrashPoint::AtPass(3));
+                let faulted = miner
                     .mine_with_faults(algo, &dataset, &params, Some(&plan))
-                    .unwrap_err(),
-                FaultRunError::UnsupportedAlgorithm {
-                    algorithm: algo.name()
-                },
-                "{}",
-                algo.name()
-            );
+                    .unwrap_or_else(|e| panic!("{} crash({victim}): {e}", algo.name()));
+                let got: Vec<(ItemSet, u64)> = faulted
+                    .frequent
+                    .iter()
+                    .map(|(s, c)| (s.clone(), c))
+                    .collect();
+                assert_eq!(got, want, "{} crash({victim}) diverged", algo.name());
+                assert!(
+                    faulted.total_recoveries() > 0,
+                    "{} crash({victim}) must commit a recovery",
+                    algo.name()
+                );
+            }
         }
-        // Transient faults are fine for the same algorithms.
+        // Transient faults remain transparent.
         let transient = FaultPlan::new().seed(3).drop_rate(0.05);
         for algo in [Algorithm::Npa, Algorithm::Hpa { eld_permille: 0 }] {
             let run = miner

@@ -14,7 +14,7 @@ use crate::common::{build_counter_charged, count_batch_charged, PassResult, Rank
 use crate::config::ParallelParams;
 use armine_core::hashtree::OwnershipFilter;
 use armine_core::ItemSet;
-use armine_mpsim::Comm;
+use armine_mpsim::{Comm, RecvFault};
 
 /// One NPA counting pass.
 pub(crate) fn count_pass(
@@ -23,20 +23,20 @@ pub(crate) fn count_pass(
     k: usize,
     candidates: Vec<ItemSet>,
     params: &ParallelParams,
-) -> PassResult {
-    let p = comm.size();
+) -> Result<PassResult, RecvFault> {
+    let p = ctx.size();
     let total = candidates.len();
     let mut counter =
         build_counter_charged(comm, k, params.counter, params.tree, candidates, total);
     comm.charge_io(ctx.local_bytes());
     let stats = count_batch_charged(comm, &mut *counter, &ctx.local, &OwnershipFilter::all());
 
-    // Funnel the counts to the coordinator (rank 0), which alone derives
-    // the frequent set and broadcasts it.
+    // Funnel the counts to the coordinator — member index 0, so the role
+    // survives the death (and adoption) of any global rank.
     let counts = counter.count_vector();
     let bytes = counts.len() * 8;
-    let mut world = comm.world();
-    let gathered = world.gather(0, counts, bytes);
+    let mut world = ctx.world(comm);
+    let gathered = world.try_gather(0, counts, bytes)?;
     let level: Vec<(ItemSet, u64)> = if let Some(all) = gathered {
         // Coordinator: sum and filter.
         let mut sum = vec![0u64; total];
@@ -54,19 +54,19 @@ pub(crate) fn count_pass(
         counter.set_count_vector(&sum);
         let level = counter.frequent(ctx.min_count);
         let level_bytes = crate::common::level_wire_size(&level);
-        world.broadcast(0, Some(level.clone()), level_bytes);
+        world.try_broadcast(0, Some(level.clone()), level_bytes)?;
         level
     } else {
-        world.broadcast::<Vec<(ItemSet, u64)>>(0, None, 0)
+        world.try_broadcast::<Vec<(ItemSet, u64)>>(0, None, 0)?
     };
-    PassResult {
+    Ok(PassResult {
         level,
         stats,
         db_scans: 1,
         grid: (1, p),
         candidate_imbalance: 0.0,
         counted_candidates: None,
-    }
+    })
 }
 
 #[cfg(test)]

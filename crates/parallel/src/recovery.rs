@@ -1,5 +1,5 @@
-//! Pass-boundary checkpointing and crash recovery shared by the
-//! fault-tolerant formulations (CD, DD, DD+comm, IDD, HD, PDM).
+//! Pass-boundary checkpointing and crash recovery shared by **all**
+//! formulations (CD, DD, DD+comm, IDD, IDD-1src, HD, PDM, NPA, HPA).
 //!
 //! Every pass of every formulation ends with an exchange that leaves the
 //! complete global `F_k` replicated on all ranks, so the frequent-itemset

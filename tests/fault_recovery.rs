@@ -1,10 +1,12 @@
 //! Fault injection end-to-end: every recoverable fault plan — message
 //! drops, stragglers, and up to one rank crash — must leave the mined
 //! frequent itemsets and association rules **bit-identical** to a
-//! fault-free run, for every crash-recoverable formulation; and the same
-//! plan must reproduce the same virtual clocks and fault counters.
+//! fault-free run, for every formulation, on **both** execution backends
+//! (virtual-time injection under sim, real thread deaths and wall-clock
+//! timers under native); and on sim the same plan must reproduce the
+//! same virtual clocks and fault counters.
 
-use armine::mpsim::{CrashPoint, FaultPlan};
+use armine::mpsim::{CrashPoint, ExecBackend, FaultPlan};
 use armine::parallel::{Algorithm, FaultRunError, ParallelMiner, ParallelParams};
 use armine_core::ItemSet;
 use armine_datagen::QuestParams;
@@ -12,7 +14,7 @@ use proptest::prelude::*;
 
 const PROCS: usize = 4;
 
-const ALGOS: [Algorithm; 6] = [
+const ALGOS: [Algorithm; 9] = [
     Algorithm::Cd,
     Algorithm::Dd,
     Algorithm::DdComm,
@@ -24,6 +26,9 @@ const ALGOS: [Algorithm; 6] = [
         buckets: 256,
         filter_passes: 1,
     },
+    Algorithm::Npa,
+    Algorithm::Hpa { eld_permille: 200 },
+    Algorithm::IddSingleSource,
 ];
 
 fn dataset() -> armine_core::Dataset {
@@ -78,7 +83,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// The golden-fingerprint guarantee: any recoverable plan yields the
-    /// fault-free lattice, for every crash-recoverable algorithm.
+    /// fault-free lattice, for every formulation.
     #[test]
     fn recoverable_plans_preserve_the_lattice(
         seed in 0u64..1_000_000,
@@ -110,6 +115,59 @@ proptest! {
                 itemsets(&faulted),
                 itemsets(&clean),
                 "{} diverged under plan:\n{}",
+                algo.name(),
+                plan
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The same guarantee on the native backend, where the plan's faults
+    /// are real: crashes kill worker threads, stragglers sleep, drops
+    /// retransmit on wall-clock RTO timers, and dead peers are detected
+    /// by `detect_timeout` deadlines — so this proptest completing at all
+    /// is the no-hang property, and the lattice check is the recovery
+    /// property. Fewer cases than the sim sweep because detector waits
+    /// burn real milliseconds here.
+    #[test]
+    fn recoverable_plans_preserve_the_lattice_natively(
+        seed in 0u64..1_000_000,
+        drop_permille in 0u32..120,
+        straggler_ranks in prop::collection::btree_set(0usize..PROCS, 0..=1),
+        straggler_tenths in 12u32..25,
+        crash_choice in 0usize..=2 * PROCS,
+        crash_pass in 2usize..=3,
+        crash_time_micros in 200u64..5_000,
+    ) {
+        // Tight wall-clock timers keep real retransmit backoffs and
+        // failure-detector waits in the microsecond-to-millisecond range.
+        let plan = build_plan(
+            seed,
+            drop_permille,
+            &straggler_ranks,
+            straggler_tenths,
+            crash_choice,
+            crash_pass,
+            crash_time_micros,
+        )
+        .rto(5e-5)
+        .detect_timeout(2e-3);
+        let dataset = dataset();
+        let params = params();
+        let sim = ParallelMiner::new(PROCS);
+        let native = ParallelMiner::new(PROCS).backend(ExecBackend::Native);
+        for algo in ALGOS {
+            let clean = sim.mine(algo, &dataset, &params);
+            let faulted = native
+                .mine_with_faults(algo, &dataset, &params, Some(&plan))
+                .unwrap_or_else(|e| panic!("native {} under {plan}: {e}", algo.name()));
+            prop_assert_eq!(
+                itemsets(&faulted),
+                itemsets(&clean),
+                "native {} diverged under plan:\n{}",
                 algo.name(),
                 plan
             );

@@ -139,20 +139,49 @@ fn wall_timings_populated_only_on_native() {
     assert!(sim.wall.is_empty(), "sim runs must not report wall timings");
 }
 
-/// The native backend refuses fault plans instead of silently ignoring
-/// them.
+/// Fault plans run for real on the native backend: transient faults
+/// (drops, delays, stragglers) cost wall time — retransmits really back
+/// off, delayed messages really wait — but never change what is mined.
 #[test]
-fn native_backend_rejects_fault_plans() {
+fn native_backend_runs_transient_fault_plans_for_real() {
     use armine::mpsim::FaultPlan;
-    let dataset = quest(120, 40, 10, 3);
-    let params = ParallelParams::with_min_support_count(5).max_k(3);
-    let plan = FaultPlan::new().seed(1).drop_rate(0.05);
-    let err = ParallelMiner::new(2)
+    let dataset = quest(200, 50, 15, 3);
+    let params = ParallelParams::with_min_support_count(6).max_k(3);
+    let plan = FaultPlan::new()
+        .seed(1)
+        .drop_rate(0.15)
+        .rto(5e-5)
+        .slowdown(1, 2.0);
+    let clean = ParallelMiner::new(3).mine(Algorithm::Cd, &dataset, &params);
+    let faulted = ParallelMiner::new(3)
         .backend(ExecBackend::Native)
         .mine_with_faults(Algorithm::Cd, &dataset, &params, Some(&plan))
-        .unwrap_err();
-    assert!(
-        matches!(err, FaultRunError::InvalidPlan(ref why) if why.contains("sim backend")),
-        "{err}"
-    );
+        .expect("transient faults never kill a run");
+    assert_eq!(lattice(&faulted), lattice(&clean));
+    assert!(faulted.total_retransmits() > 0, "drops must really resend");
+    assert_eq!(faulted.wall.len(), 3, "wall timings survive faulted runs");
+}
+
+/// A plan out of range for the rank count is rejected up front on either
+/// backend, naming the offending rank.
+#[test]
+fn out_of_range_plans_are_rejected_on_both_backends() {
+    use armine::mpsim::{CrashPoint, FaultPlan};
+    let dataset = quest(120, 40, 10, 3);
+    let params = ParallelParams::with_min_support_count(5).max_k(3);
+    let plan = FaultPlan::new().crash(7, CrashPoint::AtPass(2));
+    for backend in ExecBackend::ALL {
+        let err = ParallelMiner::new(2)
+            .backend(backend)
+            .mine_with_faults(Algorithm::Cd, &dataset, &params, Some(&plan))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FaultRunError::InvalidPlan(ref why)
+                    if why.contains("rank 7") && why.contains("2 ranks")
+            ),
+            "{backend}: {err}"
+        );
+    }
 }

@@ -40,6 +40,28 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on an empty channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     impl std::fmt::Display for RecvError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "receiving on an empty and disconnected channel")
@@ -125,6 +147,30 @@ pub mod channel {
         pub fn try_recv(&self) -> Option<T> {
             self.shared.inner.lock().unwrap().queue.pop_front()
         }
+
+        /// Blocks until a message is available, every sender is dropped,
+        /// or `timeout` passes, whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self.shared.ready.wait_timeout(inner, remaining).unwrap();
+                inner = guard;
+            }
+        }
     }
 
     #[cfg(test)]
@@ -158,6 +204,35 @@ pub mod channel {
             std::thread::sleep(std::time::Duration::from_millis(10));
             tx.send(99).unwrap();
             assert_eq!(handle.join().unwrap(), 99);
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u8>();
+            let t0 = std::time::Instant::now();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(5));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_secs(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn recv_timeout_unblocks_on_cross_thread_send() {
+            let (tx, rx) = unbounded::<u64>();
+            let handle = std::thread::spawn(move || {
+                rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(42).unwrap();
+            assert_eq!(handle.join().unwrap(), 42);
         }
 
         #[test]
