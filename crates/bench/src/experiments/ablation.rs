@@ -11,7 +11,7 @@
 //! 3. **Interconnect** — DD's naive all-to-all vs the topology it runs on;
 //!    IDD's ring is neighbour-only and barely notices.
 
-use crate::report::Table;
+use crate::report::{ms, ratio, Table};
 use crate::workloads;
 use armine_core::apriori::{Apriori, AprioriParams};
 use armine_core::hashtree::HashTreeParams;
@@ -70,7 +70,7 @@ pub fn run_page_size() -> Table {
         let run = miner.mine(Algorithm::Idd, &dataset, &params);
         table.row(&[
             &page,
-            &format!("{:.2}", run.response_time * 1e3),
+            &ms(run.response_time),
             &run.ranks.iter().map(|r| r.messages_sent).sum::<u64>(),
             &format!("{:.1}", run.total_bytes() as f64 / 1e6),
         ]);
@@ -112,9 +112,9 @@ pub fn run_topology() -> Table {
         let idd = miner.mine(Algorithm::Idd, &dataset, &params);
         table.row(&[
             &name,
-            &format!("{:.2}", dd.response_time * 1e3),
-            &format!("{:.2}", idd.response_time * 1e3),
-            &format!("{:.2}", dd.response_time / idd.response_time),
+            &ms(dd.response_time),
+            &ms(idd.response_time),
+            &ratio(dd.response_time / idd.response_time),
         ]);
     }
     table

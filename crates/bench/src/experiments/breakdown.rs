@@ -14,7 +14,7 @@
 //! imbalance as the fraction of the makespan the average rank spends
 //! beyond the mean busy time (`(max − avg busy) / response`).
 
-use crate::report::Table;
+use crate::report::{pct, Table};
 use crate::workloads;
 use armine_mpsim::MachineProfile;
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams, ParallelRun};
@@ -75,10 +75,10 @@ pub fn run(procs_list: &[usize]) -> Table {
 
         table.row(&[
             &procs,
-            &format!("{:.1}%", cd_build * 100.0),
-            &format!("{:.1}%", cd_comm * 100.0),
-            &format!("{:.1}%", idd_imbalance * 100.0),
-            &format!("{:.1}%", idd_move * 100.0),
+            &pct(cd_build),
+            &pct(cd_comm),
+            &pct(idd_imbalance),
+            &pct(idd_move),
         ]);
     }
     table

@@ -24,11 +24,12 @@
 //! Every run mines the identical frequent lattice (asserted here): the
 //! fault layer may cost time, never answers.
 
-use crate::report::{experiments_dir, Table};
+use crate::report::{ms, signed_pct, write_bench_json, Table};
 use crate::workloads;
+use armine_metrics::json::{BenchDocument, JsonValue};
+use armine_metrics::{names, Labels, MetricShard};
 use armine_mpsim::{CrashPoint, ExecBackend, FaultPlan};
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams, ParallelRun};
-use std::io::Write;
 
 const PROCS: usize = 64;
 
@@ -79,17 +80,11 @@ pub fn run_drop_rate() -> Table {
         assert_eq!(lattice_len(&hd_run), lattice_len(&hd_base));
         table.row(&[
             &format!("{:.1}%", f64::from(permille) / 10.0),
-            &format!("{:.2}", cd.response_time * 1e3),
-            &format!(
-                "{:+.1}%",
-                (cd.response_time / cd_base.response_time - 1.0) * 100.0
-            ),
+            &ms(cd.response_time),
+            &signed_pct((cd.response_time / cd_base.response_time - 1.0) * 100.0),
             &cd.total_retransmits(),
-            &format!("{:.2}", hd_run.response_time * 1e3),
-            &format!(
-                "{:+.1}%",
-                (hd_run.response_time / hd_base.response_time - 1.0) * 100.0
-            ),
+            &ms(hd_run.response_time),
+            &signed_pct((hd_run.response_time / hd_base.response_time - 1.0) * 100.0),
             &hd_run.total_retransmits(),
         ]);
     }
@@ -117,11 +112,8 @@ pub fn run_crash_recovery() -> Table {
         assert_eq!(lattice_len(&run), lattice_len(&baseline));
         table.row(&[
             &label,
-            &format!("{:.2}", run.response_time * 1e3),
-            &format!(
-                "{:+.1}%",
-                (run.response_time / baseline.response_time - 1.0) * 100.0
-            ),
+            &ms(run.response_time),
+            &signed_pct((run.response_time / baseline.response_time - 1.0) * 100.0),
             &run.total_recoveries(),
             &run.total_timeouts(),
         ]);
@@ -153,6 +145,9 @@ pub struct FaultPoint {
     pub timeouts: u64,
     /// Committed recoveries.
     pub recoveries: u64,
+    /// Canonical [`FaultPlan::label`] of the injected plan (`"none"` for
+    /// the fault-free baseline) — the `fault_plan` label in the JSON.
+    pub fault_plan: String,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -214,6 +209,9 @@ pub fn measure_both(n: usize) -> Vec<FaultPoint> {
                 retransmits: run.total_retransmits(),
                 timeouts: run.total_timeouts(),
                 recoveries: run.total_recoveries(),
+                fault_plan: plan
+                    .as_ref()
+                    .map_or_else(|| "none".to_owned(), FaultPlan::label),
             });
         }
     }
@@ -245,8 +243,8 @@ pub fn run_both_backends() -> Table {
         table.row(&[
             &p.scenario,
             &p.backend,
-            &format!("{:.3}", p.response_s * 1e3),
-            &format!("{:+.1}%", p.overhead_pct),
+            &ms(p.response_s),
+            &signed_pct(p.overhead_pct),
             &p.retransmits,
             &p.timeouts,
             &p.recoveries,
@@ -255,41 +253,34 @@ pub fn run_both_backends() -> Table {
     table
 }
 
-/// Hand-written JSON snapshot (no serde in the tree): sim-predicted vs
-/// measured fault overhead, machine-readable.
+/// Registry-snapshot JSON: each point lands as response/overhead gauges
+/// and the three fault counters under
+/// `{scenario, backend, fault_plan, algorithm="CD", procs}` — sim-predicted
+/// vs measured recovery cost as a label join on `backend`.
 fn write_json(n: usize, points: &[FaultPoint]) -> std::io::Result<std::path::PathBuf> {
-    let dir = experiments_dir();
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join("BENCH_faults.json");
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut f = std::fs::File::create(&path)?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"benchmark\": \"fault_overhead_sim_vs_native\",")?;
-    writeln!(f, "  \"workload\": \"T15.I6\",")?;
-    writeln!(f, "  \"transactions\": {n},")?;
-    writeln!(f, "  \"procs\": {BOTH_PROCS},")?;
-    writeln!(f, "  \"algorithm\": \"CD\",")?;
-    writeln!(f, "  \"host_cores\": {cores},")?;
-    writeln!(f, "  \"points\": [")?;
-    for (i, p) in points.iter().enumerate() {
-        let comma = if i + 1 < points.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"response_s\": {:.6}, \
-             \"overhead_pct\": {:.2}, \"retransmits\": {}, \"timeouts\": {}, \
-             \"recoveries\": {}}}{comma}",
-            p.scenario,
-            p.backend,
-            p.response_s,
-            p.overhead_pct,
-            p.retransmits,
-            p.timeouts,
-            p.recoveries
-        )?;
+    let mut shard = MetricShard::new();
+    for p in points {
+        let labels = Labels::new()
+            .with("scenario", p.scenario)
+            .with("backend", p.backend)
+            .with("fault_plan", p.fault_plan.clone())
+            .with("algorithm", "CD")
+            .with("procs", BOTH_PROCS);
+        shard.set_gauge(names::RUN_RESPONSE_SECONDS, labels.clone(), p.response_s);
+        shard.set_gauge(names::RUN_OVERHEAD_PCT, labels.clone(), p.overhead_pct);
+        shard.incr(names::RUN_RETRANSMITS, labels.clone(), p.retransmits);
+        shard.incr(names::RUN_TIMEOUTS, labels.clone(), p.timeouts);
+        shard.incr(names::RUN_RECOVERIES, labels, p.recoveries);
     }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(path)
+    let doc = BenchDocument::new(
+        "fault_overhead_sim_vs_native",
+        shard.snapshot(&Labels::new()),
+    )
+    .with_context("workload", JsonValue::Str("T15.I6".into()))
+    .with_context("transactions", JsonValue::UInt(n as u64))
+    .with_context("host_cores", JsonValue::UInt(cores as u64));
+    write_bench_json("BENCH_faults", &doc)
 }
 
 #[cfg(test)]
@@ -314,9 +305,28 @@ mod tests {
             let recoveries: u64 = row[6].parse().unwrap();
             assert!(recoveries > 0, "crash scenario must recover: {row:?}");
         }
-        let json = std::fs::read_to_string(experiments_dir().join("BENCH_faults.json")).unwrap();
-        assert!(json.contains("\"benchmark\": \"fault_overhead_sim_vs_native\""));
-        assert!(json.contains("\"backend\": \"native\""));
-        assert!(json.contains("\"recoveries\""));
+        let json =
+            std::fs::read_to_string(crate::report::experiments_dir().join("BENCH_faults.json"))
+                .unwrap();
+        let doc = BenchDocument::parse(&json).unwrap();
+        assert_eq!(doc.benchmark, "fault_overhead_sim_vs_native");
+        // Both backends are present, and the crash scenario's committed
+        // recoveries survived the export on each.
+        for backend in ["sim", "native"] {
+            let recoveries = doc.snapshot.counter_sum(
+                names::RUN_RECOVERIES,
+                &[("backend", backend), ("scenario", "crash @ pass 2")],
+            );
+            assert!(recoveries > 0, "{backend} crash row lost its recoveries");
+        }
+        // The crash plan's canonical label reached the fault_plan axis.
+        assert!(
+            doc.snapshot
+                .label_values("fault_plan")
+                .iter()
+                .any(|v| v.contains("crash2@pass2")),
+            "{:?}",
+            doc.snapshot.label_values("fault_plan")
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! over the aggregate memory and keep a single scan per pass, so the gap
 //! widens with M (paper: CD penalty ≈8% at 1M candidates, 25% at 11M).
 
-use crate::report::Table;
+use crate::report::{ms, ratio, Table};
 use crate::workloads;
 use armine_mpsim::MachineProfile;
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
@@ -55,11 +55,11 @@ pub fn run(supports: &[f64]) -> Table {
         table.row(&[
             &format!("{:.3}%", support * 100.0),
             &candidates,
-            &format!("{:.1}", cd.response_time * 1e3),
-            &format!("{:.1}", idd.response_time * 1e3),
-            &format!("{:.1}", hd.response_time * 1e3),
+            &ms(cd.response_time),
+            &ms(idd.response_time),
+            &ms(hd.response_time),
             &cd.total_db_scans(),
-            &format!("{:.2}", cd.response_time / hd.response_time),
+            &ratio(cd.response_time / hd.response_time),
         ]);
     }
     table

@@ -6,7 +6,7 @@
 //! imbalance compound (the paper attributes most of the gap to
 //! imbalance).
 
-use crate::report::Table;
+use crate::report::{ms, pct, Table};
 use crate::workloads;
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
 
@@ -44,11 +44,11 @@ pub fn run(transaction_counts: &[usize]) -> Table {
         );
         table.row(&[
             &n,
-            &format!("{:.2}", cd.response_time * 1e3),
-            &format!("{:.2}", idd.response_time * 1e3),
-            &format!("{:.2}", hd.response_time * 1e3),
+            &ms(cd.response_time),
+            &ms(idd.response_time),
+            &ms(hd.response_time),
             &cd.passes.get(PASS - 1).map_or(0, |p| p.candidates),
-            &format!("{:.1}%", idd.compute_imbalance() * 100.0),
+            &pct(idd.compute_imbalance()),
         ]);
     }
     table

@@ -7,7 +7,7 @@
 //! ~O(M/P) and crosses below CD; HD tracks the minimum and becomes
 //! exactly IDD once `G = P` (paper: M ≥ 3.3M → 64×1).
 
-use crate::report::Table;
+use crate::report::{ms, Table};
 use crate::workloads;
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
 
@@ -56,9 +56,9 @@ pub fn run(supports: &[f64]) -> Table {
         table.row(&[
             &format!("{:.2}%", support * 100.0),
             &m,
-            &format!("{:.2}", cd.response_time * 1e3),
-            &format!("{:.2}", idd.response_time * 1e3),
-            &format!("{:.2}", hd.response_time * 1e3),
+            &ms(cd.response_time),
+            &ms(idd.response_time),
+            &ms(hd.response_time),
             &format!("{}x{}", grid.0, grid.1),
             &cd.total_db_scans(),
         ]);

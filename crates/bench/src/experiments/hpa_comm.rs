@@ -9,7 +9,7 @@
 //! experiment measures exactly that, pass by pass, plus the effect of
 //! ELD duplication.
 
-use crate::report::Table;
+use crate::report::{ms, ratio, Table};
 use crate::workloads;
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
 
@@ -50,9 +50,9 @@ pub fn run() -> Table {
             &idd.total_bytes(),
             &hpa.total_bytes(),
             &eld.total_bytes(),
-            &format!("{:.2}", hpa.total_bytes() as f64 / idd.total_bytes() as f64),
-            &format!("{:.2}", idd.response_time * 1e3),
-            &format!("{:.2}", hpa.response_time * 1e3),
+            &ratio(hpa.total_bytes() as f64 / idd.total_bytes() as f64),
+            &ms(idd.response_time),
+            &ms(hpa.response_time),
         ]);
     }
     table

@@ -5,7 +5,7 @@
 //! because the packing balances candidate *counts*, not the
 //! transaction-dependent traversal work).
 
-use crate::report::Table;
+use crate::report::{pct, Table};
 use crate::workloads;
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
 
@@ -43,10 +43,10 @@ pub fn run(procs_list: &[usize]) -> Table {
 
         table.row(&[
             &procs,
-            &format!("{:.1}%", cand_single * 100.0),
-            &format!("{:.1}%", single.compute_imbalance() * 100.0),
-            &format!("{:.1}%", cand_split * 100.0),
-            &format!("{:.1}%", split.compute_imbalance() * 100.0),
+            &pct(cand_single),
+            &pct(single.compute_imbalance()),
+            &pct(cand_split),
+            &pct(split.compute_imbalance()),
         ]);
     }
     table

@@ -12,11 +12,12 @@
 //! (default 100 000), `ARMINE_NATIVE_MAXP` caps the processor sweep
 //! (default `min(host cores, 8)`).
 
-use crate::report::{experiments_dir, Table};
+use crate::report::{ratio, secs, write_bench_json, Table};
 use crate::workloads;
+use armine_metrics::json::{BenchDocument, JsonValue};
+use armine_metrics::{names, Labels, MetricShard};
 use armine_mpsim::ExecBackend;
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
-use std::io::Write;
 
 /// Default transactions (override with `ARMINE_NATIVE_N`).
 pub const NUM_TRANSACTIONS: usize = 100_000;
@@ -119,43 +120,40 @@ pub fn run(procs_list: &[usize]) -> Table {
         table.row(&[
             &p.algorithm,
             &p.procs,
-            &format!("{:.4}", p.virtual_s),
-            &format!("{:.4}", p.measured_s),
-            &format!("{:.2}", p.virtual_speedup),
-            &format!("{:.2}", p.measured_speedup),
+            &secs(p.virtual_s),
+            &secs(p.measured_s),
+            &ratio(p.virtual_speedup),
+            &ratio(p.measured_speedup),
         ]);
     }
     table
 }
 
-/// Hand-written JSON snapshot (no serde in the tree): the machine-readable
-/// perf-trajectory entry.
+/// Registry-snapshot JSON: each point lands as a response-time gauge and
+/// a speedup gauge labeled `{algorithm, procs, backend}`, so the
+/// predicted-vs-measured comparison is a label join on `backend`.
 fn write_json(n: usize, points: &[NativePoint]) -> std::io::Result<std::path::PathBuf> {
-    let dir = experiments_dir();
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join("BENCH_native.json");
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut f = std::fs::File::create(&path)?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"benchmark\": \"native_vs_virtual_speedup\",")?;
-    writeln!(f, "  \"workload\": \"T15.I6\",")?;
-    writeln!(f, "  \"transactions\": {n},")?;
-    writeln!(f, "  \"min_support\": {MIN_SUPPORT},")?;
-    writeln!(f, "  \"max_k\": {MAX_K},")?;
-    writeln!(f, "  \"host_cores\": {cores},")?;
-    writeln!(f, "  \"points\": [")?;
-    for (i, p) in points.iter().enumerate() {
-        let comma = if i + 1 < points.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"algorithm\": \"{}\", \"procs\": {}, \"virtual_s\": {:.6}, \
-             \"measured_s\": {:.6}, \"virtual_speedup\": {:.3}, \"measured_speedup\": {:.3}}}{comma}",
-            p.algorithm, p.procs, p.virtual_s, p.measured_s, p.virtual_speedup, p.measured_speedup
-        )?;
+    let mut shard = MetricShard::new();
+    for p in points {
+        let at = |backend: &str| {
+            Labels::new()
+                .with("algorithm", p.algorithm)
+                .with("procs", p.procs)
+                .with("backend", backend)
+        };
+        shard.set_gauge(names::RUN_RESPONSE_SECONDS, at("sim"), p.virtual_s);
+        shard.set_gauge(names::RUN_RESPONSE_SECONDS, at("native"), p.measured_s);
+        shard.set_gauge(names::RUN_SPEEDUP, at("sim"), p.virtual_speedup);
+        shard.set_gauge(names::RUN_SPEEDUP, at("native"), p.measured_speedup);
     }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(path)
+    let doc = BenchDocument::new("native_vs_virtual_speedup", shard.snapshot(&Labels::new()))
+        .with_context("workload", JsonValue::Str("T15.I6".into()))
+        .with_context("transactions", JsonValue::UInt(n as u64))
+        .with_context("min_support", JsonValue::Float(MIN_SUPPORT))
+        .with_context("max_k", JsonValue::UInt(MAX_K as u64))
+        .with_context("host_cores", JsonValue::UInt(cores as u64));
+    write_bench_json("BENCH_native", &doc)
 }
 
 #[cfg(test)]
@@ -174,9 +172,18 @@ mod tests {
             let measured_s: f64 = row[3].parse().unwrap();
             assert!(virtual_s > 0.0 && measured_s > 0.0, "{row:?}");
         }
-        let json = std::fs::read_to_string(experiments_dir().join("BENCH_native.json")).unwrap();
-        assert!(json.contains("\"benchmark\": \"native_vs_virtual_speedup\""));
-        assert!(json.contains("\"measured_speedup\""));
+        let json =
+            std::fs::read_to_string(crate::report::experiments_dir().join("BENCH_native.json"))
+                .unwrap();
+        let doc = BenchDocument::parse(&json).unwrap();
+        assert_eq!(doc.benchmark, "native_vs_virtual_speedup");
+        // 2 algos x 2 P x 2 backends, one response gauge + one speedup gauge each.
+        assert_eq!(doc.snapshot.len(), 16);
+        let natives = doc
+            .snapshot
+            .select(names::RUN_SPEEDUP, &[("backend", "native")])
+            .count();
+        assert_eq!(natives, 4);
     }
 
     #[test]

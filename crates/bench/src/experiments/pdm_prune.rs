@@ -7,7 +7,7 @@
 //! are the candidate-pruning ratio (bucket table quality vs size) and the
 //! net response-time effect.
 
-use crate::report::Table;
+use crate::report::{ms, Table};
 use crate::workloads;
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
 
@@ -45,8 +45,8 @@ pub fn run() -> Table {
             &buckets,
             &counted,
             &format!("{:.1}%", 100.0 * (c2 - counted) as f64 / c2 as f64),
-            &format!("{:.2}", pdm.response_time * 1e3),
-            &format!("{:.2}", cd.response_time * 1e3),
+            &ms(pdm.response_time),
+            &ms(cd.response_time),
         ]);
     }
     table

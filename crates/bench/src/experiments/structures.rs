@@ -23,12 +23,13 @@
 //! Knob (environment): `ARMINE_STRUCTURES_N` overrides the native
 //! measurement's transaction count (default 20 000).
 
-use crate::report::{experiments_dir, Table};
+use crate::report::{ms, secs, write_bench_json, Table};
 use crate::workloads;
 use armine_core::counter::{CounterBackend, CounterStats};
+use armine_metrics::json::{BenchDocument, JsonValue};
+use armine_metrics::{names, Labels, MetricShard};
 use armine_mpsim::ExecBackend;
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
-use std::io::Write;
 
 /// Minimum support fraction for both slices.
 pub const MIN_SUPPORT: f64 = 0.01;
@@ -158,7 +159,7 @@ pub fn sim_table(points: &[SimPoint]) -> Table {
             &p.algorithm,
             &p.counter,
             &p.procs,
-            &format!("{:.3}", p.response_s * 1e3),
+            &ms(p.response_s),
             &p.stats.traversal_steps,
             &p.stats.distinct_leaf_visits,
             &p.stats.candidate_checks,
@@ -178,8 +179,8 @@ pub fn native_table(n: usize, points: &[NativePoint]) -> Table {
     for p in points {
         table.row(&[
             &p.counter,
-            &format!("{:.4}", p.counting_s),
-            &format!("{:.4}", p.total_s),
+            &secs(p.counting_s),
+            &secs(p.total_s),
             &p.frequent,
         ]);
     }
@@ -206,58 +207,46 @@ pub fn run_full() -> (Table, Table) {
     (sim_table(&sim), native_table(n, &native))
 }
 
-/// Hand-written JSON snapshot (no serde in the tree): the machine-readable
-/// three-way structure comparison, first slice of the perf trajectory's
-/// counting-structure entry.
+/// Registry-snapshot JSON: sim points land as the seven counting-ledger
+/// counters plus a response gauge and a frequent-itemsets counter under
+/// `{algorithm, counter, procs, backend="sim"}`; native points as
+/// wall-clock counting/total gauges under
+/// `{algorithm="CD", counter, procs="1", backend="native"}`.
 fn write_json(
     n: usize,
     sim: &[SimPoint],
     native: &[NativePoint],
 ) -> std::io::Result<std::path::PathBuf> {
-    let dir = experiments_dir();
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join("BENCH_structures.json");
-    let mut f = std::fs::File::create(&path)?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"benchmark\": \"counting_structures\",")?;
-    writeln!(f, "  \"workload\": \"T10.I4\",")?;
-    writeln!(f, "  \"min_support\": {MIN_SUPPORT},")?;
-    writeln!(f, "  \"max_k\": {MAX_K},")?;
-    writeln!(f, "  \"sim_transactions\": {SIM_TRANSACTIONS},")?;
-    writeln!(f, "  \"native_transactions\": {n},")?;
-    writeln!(f, "  \"sim\": [")?;
-    for (i, p) in sim.iter().enumerate() {
-        let comma = if i + 1 < sim.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"algorithm\": \"{}\", \"counter\": \"{}\", \"procs\": {}, \
-             \"response_s\": {:.6}, \"traversal_steps\": {}, \"node_visits\": {}, \
-             \"candidate_checks\": {}, \"intersection_words\": {}, \"frequent\": {}}}{comma}",
-            p.algorithm,
-            p.counter,
-            p.procs,
-            p.response_s,
-            p.stats.traversal_steps,
-            p.stats.distinct_leaf_visits,
-            p.stats.candidate_checks,
-            p.stats.intersection_words,
-            p.frequent
-        )?;
+    let mut shard = MetricShard::new();
+    for p in sim {
+        let labels = Labels::new()
+            .with("algorithm", p.algorithm)
+            .with("counter", p.counter)
+            .with("procs", p.procs)
+            .with("backend", "sim");
+        shard.set_gauge(names::RUN_RESPONSE_SECONDS, labels.clone(), p.response_s);
+        shard.incr(names::RUN_FREQUENT, labels.clone(), p.frequent as u64);
+        for (field, value) in p.stats.named_fields() {
+            shard.incr(&names::counting(field), labels.clone(), value);
+        }
     }
-    writeln!(f, "  ],")?;
-    writeln!(f, "  \"native_cd_p1\": [")?;
-    for (i, p) in native.iter().enumerate() {
-        let comma = if i + 1 < native.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"counter\": \"{}\", \"counting_s\": {:.6}, \"total_s\": {:.6}, \
-             \"frequent\": {}}}{comma}",
-            p.counter, p.counting_s, p.total_s, p.frequent
-        )?;
+    for p in native {
+        let labels = Labels::new()
+            .with("algorithm", "CD")
+            .with("counter", p.counter)
+            .with("procs", 1)
+            .with("backend", "native");
+        shard.set_gauge(&names::wall_time("counting"), labels.clone(), p.counting_s);
+        shard.set_gauge(&names::wall_time("total"), labels.clone(), p.total_s);
+        shard.incr(names::RUN_FREQUENT, labels, p.frequent as u64);
     }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(path)
+    let doc = BenchDocument::new("counting_structures", shard.snapshot(&Labels::new()))
+        .with_context("workload", JsonValue::Str("T10.I4".into()))
+        .with_context("min_support", JsonValue::Float(MIN_SUPPORT))
+        .with_context("max_k", JsonValue::UInt(MAX_K as u64))
+        .with_context("sim_transactions", JsonValue::UInt(SIM_TRANSACTIONS as u64))
+        .with_context("native_transactions", JsonValue::UInt(n as u64));
+    write_bench_json("BENCH_structures", &doc)
 }
 
 #[cfg(test)]
@@ -299,8 +288,26 @@ mod tests {
         let sim = measure_sim();
         let path = write_json(400, &sim, &points).unwrap();
         let json = std::fs::read_to_string(path).unwrap();
-        assert!(json.contains("\"benchmark\": \"counting_structures\""));
-        assert!(json.contains("\"native_cd_p1\""));
-        assert!(json.contains("\"counter\": \"vertical\""));
+        let doc = BenchDocument::parse(&json).unwrap();
+        assert_eq!(doc.benchmark, "counting_structures");
+        // Native slice: one wall-clock counting gauge per counter backend.
+        let native_series = doc
+            .snapshot
+            .select(&names::wall_time("counting"), &[("backend", "native")])
+            .count();
+        assert_eq!(native_series, CounterBackend::ALL.len());
+        // Sim slice: the vertical backend's intersection-word ledger made
+        // it into the snapshot with exact values.
+        let vertical_words = doc.snapshot.counter_sum(
+            &names::counting("intersection_words"),
+            &[("counter", "vertical"), ("backend", "sim")],
+        );
+        let expected: u64 = sim
+            .iter()
+            .filter(|p| p.counter == "vertical")
+            .map(|p| p.stats.intersection_words)
+            .sum();
+        assert_eq!(vertical_words, expected);
+        assert!(vertical_words > 0);
     }
 }

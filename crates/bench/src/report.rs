@@ -1,5 +1,9 @@
-//! Result tables: pretty terminal output + CSV files for plotting.
+//! Result tables: pretty terminal output + CSV files for plotting, plus
+//! the one shared set of numeric formatters every experiment's
+//! table/CSV rendering uses, and the registry-snapshot JSON writer the
+//! `BENCH_*.json` perf-trajectory files go through.
 
+use armine_metrics::json::BenchDocument;
 use std::fmt::Display;
 use std::io::Write;
 use std::path::PathBuf;
@@ -106,9 +110,38 @@ pub fn ms(seconds: f64) -> String {
     format!("{:.3}", seconds * 1e3)
 }
 
+/// Formats seconds as plain seconds with four decimals (wall-clock
+/// measurements where milliseconds would overflow the column).
+pub fn secs(seconds: f64) -> String {
+    format!("{seconds:.4}")
+}
+
 /// Formats a ratio as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
+}
+
+/// Formats an already-in-percent overhead with an explicit sign
+/// (`+3.2%` / `-0.4%`), the convention of the fault-overhead tables.
+pub fn signed_pct(percent: f64) -> String {
+    format!("{percent:+.1}%")
+}
+
+/// Formats a dimensionless ratio (speedup, blow-up factor) with two
+/// decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Writes a registry [`BenchDocument`] into `experiments/<name>.json` —
+/// the uniform exporter behind every `BENCH_*.json` perf-trajectory
+/// snapshot. Returns the path written.
+pub fn write_bench_json(name: &str, doc: &BenchDocument) -> std::io::Result<PathBuf> {
+    let dir = experiments_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    doc.write_to(&path)?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -147,5 +180,25 @@ mod tests {
     fn formatters() {
         assert_eq!(ms(0.001), "1.000");
         assert_eq!(pct(0.054), "5.4%");
+        assert_eq!(secs(1.25), "1.2500");
+        assert_eq!(signed_pct(3.21), "+3.2%");
+        assert_eq!(signed_pct(-0.44), "-0.4%");
+        assert_eq!(ratio(2.0 / 3.0), "0.67");
+    }
+
+    #[test]
+    fn bench_json_writer_round_trips() {
+        use armine_metrics::{Labels, MetricShard};
+        let mut shard = MetricShard::new();
+        shard.set_gauge(
+            "armine.run.response_seconds",
+            Labels::new().with("procs", 4),
+            0.125,
+        );
+        let doc = BenchDocument::new("writer_test", shard.snapshot(&Labels::new()));
+        let path = write_bench_json("_test_bench_writer", &doc).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(BenchDocument::parse(&text).unwrap(), doc);
+        std::fs::remove_file(path).ok();
     }
 }

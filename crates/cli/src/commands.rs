@@ -33,6 +33,8 @@ USAGE:
                   [--eld-permille N] [--buckets B] [--filter-passes N]
                   [--counter hashtree|trie|vertical] [--backend sim|native]
                   [--fault-plan FILE]   (see experiments/faults/*.plan)
+                  [--metrics-json FILE] (write the run's labeled metrics
+                                         snapshot as schema-versioned JSON)
   armine model    --n N --m M --c C --s S --procs P [--g G] [--machine t3e|sp2]
   armine stats    --input FILE [--top N]
   armine summary  --input FILE --min-support FRAC [--max-k K] [--kind maximal|closed]
@@ -232,6 +234,7 @@ fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>>
         ))
     })?;
     let plan_path: Option<String> = args.optional("fault-plan")?;
+    let metrics_path: Option<String> = args.optional("metrics-json")?;
     args.finish()?;
     let plan = match &plan_path {
         Some(path) => Some(FaultPlan::load(path).map_err(ArgError)?),
@@ -320,6 +323,16 @@ fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>>
             pass.grid.1,
             pass.time * 1e3
         )?;
+    }
+    if let Some(path) = &metrics_path {
+        let doc = armine_metrics::json::BenchDocument::new("parallel_mine", run.metrics.clone())
+            .with_context("input", armine_metrics::json::JsonValue::Str(input.clone()))
+            .with_context(
+                "transactions",
+                armine_metrics::json::JsonValue::UInt(dataset.len() as u64),
+            );
+        doc.write_to(std::path::Path::new(path))?;
+        writeln!(out, "  metrics snapshot written to {path}")?;
     }
     Ok(())
 }
@@ -982,6 +995,52 @@ mod tests {
         ]);
         assert!(o.contains("measured response time"), "{o}");
         assert!(o.contains("recoveries (1 crashed of 3 ranks)"), "{o}");
+    }
+
+    #[test]
+    fn parallel_metrics_json_writes_a_parseable_snapshot() {
+        let db = temp("metrics.txt");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "200",
+            "--items",
+            "40",
+            "--patterns",
+            "10",
+            "--seed",
+            "21",
+        ]);
+        let json_path = temp("metrics.json");
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "4",
+            "--min-support",
+            "0.03",
+            "--max-k",
+            "3",
+            "--metrics-json",
+            &json_path,
+        ]);
+        assert!(o.contains("metrics snapshot written"), "{o}");
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let doc = armine_metrics::json::BenchDocument::parse(&text).unwrap();
+        assert_eq!(doc.benchmark, "parallel_mine");
+        assert!(!doc.snapshot.is_empty());
+        // The run's base labels made it into every series.
+        for series in doc.snapshot.series() {
+            assert_eq!(series.labels.get("algorithm"), Some("CD"), "{series:?}");
+            assert_eq!(series.labels.get("procs"), Some("4"), "{series:?}");
+            assert_eq!(series.labels.get("backend"), Some("sim"), "{series:?}");
+        }
+        std::fs::remove_file(&json_path).ok();
     }
 
     #[test]

@@ -63,6 +63,43 @@ pub struct CounterStats {
 }
 
 impl CounterStats {
+    /// The ledger's field names, in declaration order — the metric-name
+    /// suffixes the registry records under `armine.counting.<field>`.
+    pub const FIELD_NAMES: [&'static str; 7] = [
+        "inserts",
+        "transactions",
+        "root_starts",
+        "traversal_steps",
+        "distinct_leaf_visits",
+        "candidate_checks",
+        "intersection_words",
+    ];
+
+    /// Every field as a `(name, value)` pair, names matching
+    /// [`FIELD_NAMES`](Self::FIELD_NAMES). The exhaustive destructure
+    /// makes forgetting a newly added field a compile error, the same
+    /// guarantee [`merged`](Self::merged) gives the aggregation path.
+    pub fn named_fields(&self) -> [(&'static str, u64); 7] {
+        let CounterStats {
+            inserts,
+            transactions,
+            root_starts,
+            traversal_steps,
+            distinct_leaf_visits,
+            candidate_checks,
+            intersection_words,
+        } = *self;
+        [
+            ("inserts", inserts),
+            ("transactions", transactions),
+            ("root_starts", root_starts),
+            ("traversal_steps", traversal_steps),
+            ("distinct_leaf_visits", distinct_leaf_visits),
+            ("candidate_checks", candidate_checks),
+            ("intersection_words", intersection_words),
+        ]
+    }
+
     /// Average distinct leaves visited per transaction — the y-axis of
     /// Figure 11.
     pub fn avg_leaf_visits_per_transaction(&self) -> f64 {

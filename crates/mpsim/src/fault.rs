@@ -149,6 +149,31 @@ impl FaultPlan {
         self.crashes.keys().copied().collect()
     }
 
+    /// A compact deterministic descriptor of the plan, used as the
+    /// `fault_plan` metric label — e.g.
+    /// `"seed13,drop0.05,slow2x1.5,crash5@pass3"`. The empty plan labels
+    /// as `"seed<seed>"`; runs without any plan use the literal `"none"`
+    /// (chosen by the caller, not here).
+    pub fn label(&self) -> String {
+        let mut parts = vec![format!("seed{}", self.seed)];
+        if self.drop_rate > 0.0 {
+            parts.push(format!("drop{}", self.drop_rate));
+        }
+        if self.delay_rate > 0.0 {
+            parts.push(format!("delay{}x{}", self.delay_rate, self.delay));
+        }
+        for (rank, factor) in &self.slowdowns {
+            parts.push(format!("slow{rank}x{factor}"));
+        }
+        for (rank, point) in &self.crashes {
+            match point {
+                CrashPoint::AtPass(pass) => parts.push(format!("crash{rank}@pass{pass}")),
+                CrashPoint::AtTime(t) => parts.push(format!("crash{rank}@t{t}")),
+            }
+        }
+        parts.join(",")
+    }
+
     /// Whether the plan injects nothing at all.
     pub fn is_fault_free(&self) -> bool {
         self.drop_rate == 0.0

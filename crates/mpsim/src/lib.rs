@@ -77,7 +77,7 @@ pub use comm::{Comm, RecvFault, RecvHandle, Scope, SendHandle};
 pub use fault::{CrashPoint, FaultPlan};
 pub use machine::{CountingWork, MachineProfile};
 pub use runtime::{SimResult, Simulator};
-pub use stats::RankStats;
+pub use stats::{imbalance, RankStats};
 pub use topology::Topology;
 pub use trace::{render_timeline, TraceEvent};
 pub use wall::{ExecBackend, WallTimings};

@@ -39,6 +39,46 @@ impl RankStats {
     pub fn comm_time(&self) -> f64 {
         (self.clock - self.busy - self.idle - self.io).max(0.0)
     }
+
+    /// The time fields as `(name, seconds)` pairs — the metric-name
+    /// suffixes the registry records under `armine.rank.<name>_seconds`.
+    pub fn named_times(&self) -> [(&'static str, f64); 4] {
+        [
+            ("clock", self.clock),
+            ("busy", self.busy),
+            ("idle", self.idle),
+            ("io", self.io),
+        ]
+    }
+
+    /// The traffic and fault counters as `(name, count)` pairs — the
+    /// metric-name suffixes the registry records under
+    /// `armine.rank.<name>`. Exhaustively destructured so a newly added
+    /// counter cannot be silently dropped from the export.
+    pub fn named_counters(&self) -> [(&'static str, u64); 7] {
+        let RankStats {
+            clock: _,
+            busy: _,
+            idle: _,
+            io: _,
+            messages_sent,
+            bytes_sent,
+            messages_received,
+            bytes_received,
+            retransmits,
+            timeouts,
+            recoveries,
+        } = *self;
+        [
+            ("messages_sent", messages_sent),
+            ("bytes_sent", bytes_sent),
+            ("messages_received", messages_received),
+            ("bytes_received", bytes_received),
+            ("retransmits", retransmits),
+            ("timeouts", timeouts),
+            ("recoveries", recoveries),
+        ]
+    }
 }
 
 /// Load imbalance across ranks for any per-rank metric: `max/avg − 1`.

@@ -78,6 +78,18 @@ pub struct WallTimings {
 }
 
 impl WallTimings {
+    /// The per-category totals as `(name, seconds)` pairs — the
+    /// metric-name suffixes the registry records under
+    /// `armine.wall.<name>_seconds`.
+    pub fn named_times(&self) -> [(&'static str, f64); 4] {
+        [
+            ("total", self.total),
+            ("counting", self.counting),
+            ("exchange", self.exchange),
+            ("io", self.io),
+        ]
+    }
+
     /// Per-pass wall durations `(pass, seconds)`: each pass runs from its
     /// entry to the next pass's entry (the last until `total`).
     pub fn pass_durations(&self) -> Vec<(usize, f64)> {

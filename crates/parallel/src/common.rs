@@ -119,6 +119,10 @@ pub(crate) struct RankPass {
 pub(crate) struct RankOutput {
     pub levels: Vec<Vec<(ItemSet, u64)>>,
     pub passes: Vec<RankPass>,
+    /// This rank's metric shard: the counting ledger of every committed
+    /// pass, recorded lock-free by thread ownership and merged at
+    /// assembly.
+    pub shard: armine_metrics::MetricShard,
 }
 
 /// Maps a backend's stats delta onto the simulator's structure-agnostic
@@ -329,6 +333,7 @@ pub(crate) fn run_rank(
     let mut holdings = crate::recovery::initial_holdings(parts);
     let mut levels: Vec<Vec<(ItemSet, u64)>> = Vec::new();
     let mut passes = Vec::new();
+    let mut shard = armine_metrics::MetricShard::new();
     let mut prev: Vec<ItemSet> = Vec::new();
     let mut k = 1;
     loop {
@@ -383,6 +388,10 @@ pub(crate) fn run_rank(
             }
         };
         prev = result.level.iter().map(|(s, _)| s.clone()).collect();
+        // The attempt is committed: record its ledger. Recording here —
+        // not inside counting — keeps abandoned crash-recovery attempts
+        // out of the series, mirroring what `passes` keeps.
+        crate::registry::record_pass_counters(&mut shard, comm.rank(), k, &result.stats);
         passes.push(RankPass {
             k,
             candidates_total: total,
@@ -396,7 +405,11 @@ pub(crate) fn run_rank(
         levels.push(result.level);
         k += 1;
     }
-    RankOutput { levels, passes }
+    RankOutput {
+        levels,
+        passes,
+        shard,
+    }
 }
 
 #[cfg(test)]

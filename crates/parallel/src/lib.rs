@@ -55,6 +55,7 @@ mod miner;
 mod npa;
 mod pdm;
 mod recovery;
+mod registry;
 mod rules;
 
 pub use config::ParallelParams;

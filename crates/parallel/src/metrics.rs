@@ -2,7 +2,8 @@
 
 use armine_core::apriori::FrequentItemsets;
 use armine_core::counter::CounterStats;
-use armine_mpsim::{RankStats, WallTimings};
+use armine_metrics::{names, MetricsSnapshot};
+use armine_mpsim::{imbalance, RankStats, WallTimings};
 
 /// What one pass of a parallel run looked like.
 #[derive(Debug, Clone, Default)]
@@ -60,17 +61,31 @@ pub struct ParallelRun {
     /// Per-rank wall-clock timings, indexed by rank; empty unless the run
     /// used [`armine_mpsim::ExecBackend::Native`].
     pub wall: Vec<WallTimings>,
+    /// The run's labeled metrics snapshot: every ledger above, re-plumbed
+    /// as named series (see `armine_metrics::names`) under the run's base
+    /// labels. The accessors below are views over this snapshot.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ParallelRun {
-    /// Total bytes moved during the run.
+    /// Total bytes moved during the run — the registry's
+    /// `armine.rank.bytes_sent` summed over ranks.
     pub fn total_bytes(&self) -> u64 {
-        self.ranks.iter().map(|r| r.bytes_sent).sum()
+        self.metrics
+            .counter_sum(&names::rank_counter("bytes_sent"), &[])
     }
 
-    /// Compute-time load imbalance across ranks (`max/avg − 1`).
+    /// Compute-time load imbalance across ranks (`max/avg − 1`), folded
+    /// over the registry's per-rank busy-time gauges in ascending rank
+    /// order — the same order (and therefore the same f64 sum) as the
+    /// legacy fold over `ranks`.
     pub fn compute_imbalance(&self) -> f64 {
-        imbalance(self.ranks.iter().map(|r| r.busy))
+        imbalance(
+            self.metrics
+                .gauges_by(&names::rank_time("busy"), "rank")
+                .into_iter()
+                .map(|(_, busy)| busy),
+        )
     }
 
     /// Response time of pass `k` (0.0 if the pass never ran).
@@ -87,34 +102,26 @@ impl ParallelRun {
     }
 
     /// Transmission attempts lost to injected faults and re-sent after an
-    /// ack-timeout backoff, summed over ranks (0 in fault-free runs).
+    /// ack-timeout backoff, summed over ranks (0 in fault-free runs) —
+    /// the registry's `armine.rank.retransmits`.
     pub fn total_retransmits(&self) -> u64 {
-        self.ranks.iter().map(|r| r.retransmits).sum()
+        self.metrics
+            .counter_sum(&names::rank_counter("retransmits"), &[])
     }
 
     /// Failure-detector timeouts (receives that concluded the awaited
-    /// peer was dead), summed over ranks.
+    /// peer was dead), summed over ranks — `armine.rank.timeouts`.
     pub fn total_timeouts(&self) -> u64 {
-        self.ranks.iter().map(|r| r.timeouts).sum()
+        self.metrics
+            .counter_sum(&names::rank_counter("timeouts"), &[])
     }
 
     /// Committed recovery events (membership shrinks with work
-    /// redistribution), summed over ranks.
+    /// redistribution), summed over ranks — `armine.rank.recoveries`.
     pub fn total_recoveries(&self) -> u64 {
-        self.ranks.iter().map(|r| r.recoveries).sum()
+        self.metrics
+            .counter_sum(&names::rank_counter("recoveries"), &[])
     }
-}
-
-fn imbalance(values: impl IntoIterator<Item = f64>) -> f64 {
-    let v: Vec<f64> = values.into_iter().collect();
-    if v.is_empty() {
-        return 0.0;
-    }
-    let avg = v.iter().sum::<f64>() / v.len() as f64;
-    if avg <= 0.0 {
-        return 0.0;
-    }
-    v.iter().cloned().fold(f64::MIN, f64::max) / avg - 1.0
 }
 
 #[cfg(test)]

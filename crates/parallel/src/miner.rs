@@ -265,14 +265,14 @@ impl ParallelMiner {
                 },
             )
         });
-        assemble(
-            algorithm.name(),
-            self.procs,
-            dataset.len(),
-            min_count,
-            result,
-        )
-        .ok_or(FaultRunError::AllRanksCrashed)
+        let meta = crate::registry::RunMeta {
+            algorithm: algorithm.name(),
+            procs: self.procs,
+            backend: self.backend,
+            counter: params.counter,
+            fault_plan: plan.map_or_else(|| "none".to_owned(), FaultPlan::label),
+        };
+        assemble(meta, dataset.len(), min_count, result).ok_or(FaultRunError::AllRanksCrashed)
     }
 
     /// Generates association rules from a mined (replicated) frequent
@@ -298,8 +298,7 @@ impl ParallelMiner {
 /// contribute `None` (their [`armine_mpsim::RankStats`] still count);
 /// returns `None` only when nobody survived.
 fn assemble(
-    algorithm: &'static str,
-    procs: usize,
+    meta: crate::registry::RunMeta,
     total_n: usize,
     min_count: u64,
     result: SimResult<Option<RankOutput>>,
@@ -342,16 +341,34 @@ fn assemble(
         });
         prev_end = end;
     }
-    let levels = survivors.into_iter().next().unwrap().levels;
+    let procs = meta.procs;
+    let algorithm = meta.algorithm;
+    let mut shards = Vec::with_capacity(survivors.len());
+    let mut levels = None;
+    for r in survivors {
+        shards.push(r.shard);
+        levels.get_or_insert(r.levels);
+    }
+    let frequent = FrequentItemsets::from_levels(levels.unwrap(), total_n as u64);
+    let metrics = crate::registry::finish_snapshot(
+        &meta,
+        shards,
+        &ranks,
+        &wall,
+        &passes,
+        response_time,
+        frequent.len(),
+    );
     Some(ParallelRun {
         algorithm,
         procs,
-        frequent: FrequentItemsets::from_levels(levels, total_n as u64),
+        frequent,
         passes,
         response_time,
         ranks,
         min_count,
         wall,
+        metrics,
     })
 }
 

@@ -18,10 +18,13 @@
 //!   runtime the parallel algorithms run on.
 //! - [`parallel`] ([`armine_parallel`]) — CD, DD, DD+comm, IDD, HD and the
 //!   multi-pass parallel mining driver.
+//! - [`metrics`] ([`armine_metrics`]) — the labeled metrics registry every
+//!   run snapshots into, and its schema-versioned JSON exporter.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use armine_core as core;
 pub use armine_datagen as datagen;
+pub use armine_metrics as metrics;
 pub use armine_mpsim as mpsim;
 pub use armine_parallel as parallel;

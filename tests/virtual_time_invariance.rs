@@ -14,6 +14,7 @@
 //! `f64` times are compared through their exact bit patterns.
 
 use armine_datagen::QuestParams;
+use armine_metrics::{names, LABEL_KEYS};
 use armine_mpsim::{CrashPoint, FaultPlan};
 use armine_parallel::{Algorithm, ParallelMiner, ParallelParams, ParallelRun};
 
@@ -104,9 +105,58 @@ fn capture_goldens() {
     }
 }
 
+/// The CD golden, shared with the registry-neutrality test below.
+const CD_GOLDEN: &str = "rt=3fc458030e91afc0 passes=[3f336b811ef1c2de,3f8503999ac663b6,3faa60c49fef95d9,3fb8cbc518b3d65a] bytes=[515744,515744,515744,515744,515744,515736,515752,515760] lattice=1d64cdddd93871a9 nfreq=25507";
+
 #[test]
 fn cd_virtual_time_is_invariant() {
-    check(Algorithm::Cd, "rt=3fc458030e91afc0 passes=[3f336b811ef1c2de,3f8503999ac663b6,3faa60c49fef95d9,3fb8cbc518b3d65a] bytes=[515744,515744,515744,515744,515744,515736,515752,515760] lattice=1d64cdddd93871a9 nfreq=25507");
+    check(Algorithm::Cd, CD_GOLDEN);
+}
+
+/// The metrics registry records host-side only — it never charges the
+/// virtual clock. With the registry fully enabled (it always is), the CD
+/// golden stays bit-identical, and the snapshot's series are the *same
+/// bits* the fingerprint pins: the response gauge, every pass-time
+/// gauge, and every rank's wire-byte counter.
+#[test]
+fn metrics_registry_is_virtual_time_neutral() {
+    let run = ParallelMiner::new(PROCS).mine(Algorithm::Cd, &dataset(), &params());
+    assert_eq!(
+        fingerprint(&run),
+        CD_GOLDEN,
+        "recording into the registry perturbed the virtual clock"
+    );
+    let snap = &run.metrics;
+    assert!(!snap.is_empty(), "registry recorded nothing");
+    assert_eq!(
+        snap.gauge(names::RUN_RESPONSE_SECONDS, &[])
+            .unwrap()
+            .to_bits(),
+        run.response_time.to_bits()
+    );
+    for p in &run.passes {
+        let k = p.k.to_string();
+        assert_eq!(
+            snap.gauge(names::PASS_TIME_SECONDS, &[("pass", &k)])
+                .unwrap()
+                .to_bits(),
+            p.time.to_bits(),
+            "pass {k} time gauge drifted from the fingerprinted ledger"
+        );
+    }
+    for (rank, rs) in run.ranks.iter().enumerate() {
+        let r = rank.to_string();
+        assert_eq!(
+            snap.counter_sum(&names::rank_counter("bytes_sent"), &[("rank", &r)]),
+            rs.bytes_sent,
+            "rank {r} wire bytes drifted"
+        );
+    }
+    for series in snap.series() {
+        for (key, _) in series.labels.iter() {
+            assert!(LABEL_KEYS.contains(&key), "non-canonical label {key:?}");
+        }
+    }
 }
 
 #[test]
