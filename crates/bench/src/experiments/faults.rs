@@ -289,6 +289,7 @@ mod tests {
 
     #[test]
     fn both_backends_sweep_emits_all_cells_and_the_json() {
+        crate::report::use_scratch_experiments_dir();
         std::env::set_var("ARMINE_FAULTS_N", "400");
         let table = run_both_backends();
         std::env::remove_var("ARMINE_FAULTS_N");

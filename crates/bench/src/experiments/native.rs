@@ -162,6 +162,7 @@ mod tests {
 
     #[test]
     fn sweep_produces_both_curves_and_the_json() {
+        crate::report::use_scratch_experiments_dir();
         std::env::set_var("ARMINE_NATIVE_N", "400");
         let table = run(&[1, 2]);
         std::env::remove_var("ARMINE_NATIVE_N");

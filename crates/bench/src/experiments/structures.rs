@@ -278,6 +278,7 @@ mod tests {
 
     #[test]
     fn native_slice_measures_all_backends_and_writes_json() {
+        crate::report::use_scratch_experiments_dir();
         let points = measure_native(400);
         assert_eq!(points.len(), CounterBackend::ALL.len());
         let frequent: Vec<usize> = points.iter().map(|p| p.frequent).collect();

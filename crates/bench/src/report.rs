@@ -98,11 +98,27 @@ impl Table {
     }
 }
 
-/// Where experiment CSVs land.
+/// Where experiment CSVs and `BENCH_*.json` snapshots land: the
+/// workspace `experiments/` directory, unless `ARMINE_EXPERIMENTS_DIR`
+/// redirects it (smoke tests use this so they never overwrite the
+/// committed full-size artifacts).
 pub fn experiments_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("ARMINE_EXPERIMENTS_DIR") {
+        return PathBuf::from(dir);
+    }
     std::env::var_os("CARGO_MANIFEST_DIR")
         .map(|d| PathBuf::from(d).join("../../experiments"))
         .unwrap_or_else(|| PathBuf::from("experiments"))
+}
+
+/// Redirects [`experiments_dir`] to a scratch directory for the rest of
+/// the test process. Smoke-sized sweep tests call this before running so
+/// the committed `experiments/` artifacts stay untouched; the scratch
+/// directory is shared (file names already differ per experiment).
+#[cfg(test)]
+pub(crate) fn use_scratch_experiments_dir() {
+    let dir = std::env::temp_dir().join("armine_bench_test_experiments");
+    std::env::set_var("ARMINE_EXPERIMENTS_DIR", &dir);
 }
 
 /// Formats seconds as engineering-friendly milliseconds.
@@ -168,6 +184,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
+        use_scratch_experiments_dir();
         let mut t = Table::new("csv", &["a", "b"]);
         t.row(&[&1, &2]);
         let path = t.write_csv("_test_csv").unwrap();
@@ -188,6 +205,7 @@ mod tests {
 
     #[test]
     fn bench_json_writer_round_trips() {
+        use_scratch_experiments_dir();
         use armine_metrics::{Labels, MetricShard};
         let mut shard = MetricShard::new();
         shard.set_gauge(

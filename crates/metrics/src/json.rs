@@ -190,14 +190,14 @@ fn render_string(s: &str, out: &mut String) {
 }
 
 /// Formats an `f64` with Rust's shortest-round-trip `Display` — parsing
-/// the result back yields bit-identical `f64`. Non-finite values render
-/// as `null` (JSON has no Inf/NaN).
+/// the result back yields a bit-identical `f64`. Panics on NaN/Inf:
+/// JSON has no non-finite literals, and any placeholder would produce a
+/// document [`BenchDocument::parse`] rejects. The recording guards in
+/// [`MetricShard`](crate::MetricShard) keep such values out of
+/// snapshots in the first place.
 pub fn fmt_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_owned()
-    }
+    assert!(v.is_finite(), "cannot serialize non-finite f64 {v} as JSON");
+    format!("{v}")
 }
 
 /// A JSON parse error with byte offset.
@@ -337,32 +337,25 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok());
-                            match hex.and_then(char::from_u32) {
-                                Some(c) => {
-                                    out.push(c);
-                                    self.pos += 4;
-                                }
-                                None => return self.err("bad \\u escape"),
-                            }
-                        }
+                    let simple = match self.peek() {
+                        Some(b'"') => Some('"'),
+                        Some(b'\\') => Some('\\'),
+                        Some(b'/') => Some('/'),
+                        Some(b'n') => Some('\n'),
+                        Some(b't') => Some('\t'),
+                        Some(b'r') => Some('\r'),
+                        Some(b'b') => Some('\u{8}'),
+                        Some(b'f') => Some('\u{c}'),
+                        Some(b'u') => None,
                         _ => return self.err("bad escape"),
+                    };
+                    match simple {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += 1;
+                        }
+                        None => out.push(self.unicode_escape()?),
                     }
-                    self.pos += 1;
                 }
                 Some(_) => {
                     // Consume one UTF-8 encoded char.
@@ -376,6 +369,46 @@ impl<'a> Parser<'a> {
                     self.pos += c.len_utf8();
                 }
             }
+        }
+    }
+
+    /// Decodes a `\uXXXX` escape with `pos` on the `u`, combining a
+    /// surrogate pair (`\uD83D\uDE00` → 😀) into its single code point,
+    /// as RFC 8259 §7 requires. Leaves `pos` one past the last hex digit.
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let unit = self.hex4()?;
+        let code = if (0xD800..=0xDBFF).contains(&unit) {
+            if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                return self.err("high surrogate not followed by a \\u escape");
+            }
+            self.pos += 1;
+            let low = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&low) {
+                return self.err("high surrogate not followed by a low surrogate");
+            }
+            0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+        } else {
+            unit
+        };
+        // from_u32 fails only on a lone low surrogate here.
+        char::from_u32(code).map_or_else(|| self.err("bad \\u escape"), Ok)
+    }
+
+    /// Consumes `u` plus exactly four hex digits (`pos` on the `u`),
+    /// returning the UTF-16 code unit.
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let unit = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok());
+        match unit {
+            Some(v) => {
+                self.pos += 5;
+                Ok(v)
+            }
+            None => self.err("bad \\u escape"),
         }
     }
 
@@ -749,6 +782,34 @@ mod tests {
             v.field("s").unwrap().as_str().unwrap(),
             "line\nbreak \"quoted\" é"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_float_cannot_serialize() {
+        let _ = fmt_f64(f64::NAN);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_char() {
+        // Python's json.dumps("😀") emits exactly this pair.
+        let v = parse_json("\"\\ud83d\\ude00 ok\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "😀 ok");
+    }
+
+    #[test]
+    fn malformed_surrogates_are_rejected() {
+        for text in [
+            r#""\ud83d""#,        // high surrogate at end of string
+            r#""\ud83dx""#,       // high surrogate followed by a plain char
+            r#""\ud83d\n""#,      // high surrogate followed by another escape
+            r#""\ud83d\ud83d""#,  // high surrogate followed by another high
+            r#""\ude00""#,        // lone low surrogate
+            r#""\u12g4""#,        // non-hex digit
+            r#""\u+123""#,        // sign accepted by from_str_radix, not JSON
+        ] {
+            assert!(parse_json(text).is_err(), "{text} should be rejected");
+        }
     }
 
     #[test]

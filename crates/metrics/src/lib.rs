@@ -36,6 +36,7 @@ pub mod json;
 pub mod names;
 
 use std::cmp::Ordering;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 /// The label taxonomy, in canonical serialization order: run-scoped keys
@@ -61,9 +62,12 @@ fn key_index(key: &str) -> Option<usize> {
 
 /// Compares label values numerically when both parse as integers (so
 /// `rank=2` sorts before `rank=10`), lexicographically otherwise.
+/// Numeric ties break lexicographically (`"01"` vs `"1"`), so distinct
+/// strings never compare `Equal` and the ordering stays consistent with
+/// string equality.
 fn value_cmp(a: &str, b: &str) -> Ordering {
     match (a.parse::<u64>(), b.parse::<u64>()) {
-        (Ok(x), Ok(y)) => x.cmp(&y),
+        (Ok(x), Ok(y)) => x.cmp(&y).then_with(|| a.cmp(b)),
         _ => a.cmp(b),
     }
 }
@@ -269,8 +273,14 @@ impl MetricShard {
     }
 
     /// Sets the gauge `(name, labels)` (last write wins). Panics if the
-    /// series exists with a different kind.
+    /// series exists with a different kind, or on a non-finite value —
+    /// the JSON schema has no NaN/Inf, so rejecting at recording time
+    /// keeps every snapshot serializable.
     pub fn set_gauge(&mut self, name: &str, labels: Labels, value: f64) {
+        assert!(
+            value.is_finite(),
+            "gauge {name} set to non-finite value {value} — JSON has no NaN/Inf"
+        );
         match self
             .series
             .entry((name.to_owned(), labels))
@@ -282,18 +292,22 @@ impl MetricShard {
     }
 
     /// Adds one observation to the histogram `(name, labels)`. Panics if
-    /// the series exists with a different kind.
+    /// the series exists with a different kind, or on a non-finite value
+    /// — the JSON schema has no NaN/Inf, so rejecting at recording time
+    /// keeps every snapshot serializable.
     pub fn observe(&mut self, name: &str, labels: Labels, value: f64) {
-        match self
-            .series
-            .entry((name.to_owned(), labels))
-            .or_insert(MetricValue::Histogram(HistogramSummary::observe(value)))
-        {
-            MetricValue::Histogram(h) if h.count == 1 && h.sum == value && h.min == value => {
-                // Freshly inserted by or_insert above: nothing more to do.
+        assert!(
+            value.is_finite(),
+            "histogram {name} observed non-finite value {value} — JSON has no NaN/Inf"
+        );
+        match self.series.entry((name.to_owned(), labels)) {
+            Entry::Vacant(slot) => {
+                slot.insert(MetricValue::Histogram(HistogramSummary::observe(value)));
             }
-            MetricValue::Histogram(h) => h.absorb(value),
-            other => panic!("{name} already recorded as a {}", other.kind()),
+            Entry::Occupied(mut slot) => match slot.get_mut() {
+                MetricValue::Histogram(h) => h.absorb(value),
+                other => panic!("{name} already recorded as a {}", other.kind()),
+            },
         }
     }
 
@@ -562,6 +576,52 @@ mod tests {
         let mut s = MetricShard::new();
         s.incr("x", Labels::new(), 1);
         s.set_gauge("x", Labels::new(), 1.0);
+    }
+
+    #[test]
+    fn repeated_equal_observations_all_count() {
+        // Regression: the old "freshly inserted" guard in observe matched
+        // a pre-existing single-entry histogram with an equal value and
+        // silently dropped the second observation.
+        let mut s = MetricShard::new();
+        s.observe("h", Labels::new(), 3.5);
+        s.observe("h", Labels::new(), 3.5);
+        s.observe("h", Labels::new(), 3.5);
+        let snap = s.snapshot(&Labels::new());
+        let h = snap.histogram("h", &[]).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 10.5);
+        assert_eq!((h.min, h.max), (3.5, 3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_gauge_panics() {
+        let mut s = MetricShard::new();
+        s.set_gauge("g", Labels::new(), f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_observation_panics() {
+        let mut s = MetricShard::new();
+        s.observe("h", Labels::new(), f64::INFINITY);
+    }
+
+    #[test]
+    fn label_ordering_is_consistent_with_equality() {
+        // "01" and "1" are numerically equal but distinct strings: Ord
+        // must not return Equal (it breaks ties lexicographically), or
+        // the shard's BTreeMap would conflate the two series.
+        let a = Labels::new().with("rank", "01");
+        let b = Labels::new().with("rank", "1");
+        assert_ne!(a, b);
+        assert_ne!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        let mut s = MetricShard::new();
+        s.incr("c", a, 1);
+        s.incr("c", b, 1);
+        assert_eq!(s.len(), 2, "distinct label strings must stay distinct");
     }
 
     #[test]
