@@ -15,6 +15,7 @@ fn main() {
     emit(&ablation::run_topology(), "ablation_topology");
     emit(&faults::run_drop_rate(), "faults_drop_rate");
     emit(&faults::run_crash_recovery(), "faults_crash_recovery");
+    emit(&hetero::run(), "hetero_placement");
     emit(&fig11::run(&fig11::default_procs()), "fig11_leaf_visits");
     emit(
         &fig12::run(&fig12::default_supports()),

@@ -1,0 +1,8 @@
+//! Heterogeneous-cluster placement: what fast/slow rank mixes cost the
+//! static even split and how much the adaptive placement seam recovers,
+//! at P=16 on the simulated T3E plus a native wall-clock validation
+//! (snapshotted to experiments/BENCH_hetero.json).
+use armine_bench::experiments::{emit, hetero};
+fn main() {
+    emit(&hetero::run(), "hetero_placement");
+}

@@ -107,7 +107,9 @@ pub fn run_topology() -> Table {
         ("ring", Topology::Ring),
         ("hypercube", Topology::Hypercube),
     ] {
-        let miner = ParallelMiner::new(16).topology(topo).machine(machine);
+        let miner = ParallelMiner::new(16)
+            .topology(topo)
+            .machine(machine.clone());
         let dd = miner.mine(Algorithm::Dd, &dataset, &params);
         let idd = miner.mine(Algorithm::Idd, &dataset, &params);
         table.row(&[

@@ -11,8 +11,8 @@ use armine_core::rules::generate_rules;
 use armine_core::stats::dataset_stats;
 use armine_core::summaries::{closed_itemsets, maximal_itemsets};
 use armine_datagen::QuestParams;
-use armine_mpsim::{ExecBackend, FaultPlan, MachineProfile};
-use armine_parallel::{Algorithm, ParallelMiner, ParallelParams};
+use armine_mpsim::{ClusterProfile, ExecBackend, FaultPlan, MachineProfile};
+use armine_parallel::{Algorithm, ParallelMiner, ParallelParams, PlacementPolicy};
 use std::io::Write;
 
 type Out<'a> = &'a mut dyn Write;
@@ -32,6 +32,12 @@ USAGE:
                   [--page-size N] [--memory-capacity N] [--max-k K]
                   [--eld-permille N] [--buckets B] [--filter-passes N]
                   [--counter hashtree|trie|vertical] [--backend sim|native]
+                  [--cluster FILE]      (heterogeneous cluster profile: a
+                                         base machine plus per-rank speed
+                                         factors; see experiments/clusters)
+                  [--placement static|adaptive]
+                                        (adaptive re-scores per-rank work
+                                         shares at every pass boundary)
                   [--fault-plan FILE]   (see experiments/faults/*.plan)
                   [--metrics-json FILE] (write the run's labeled metrics
                                          snapshot as schema-versioned JSON)
@@ -202,22 +208,28 @@ fn parse_counter(args: &Args) -> Result<CounterBackend, ArgError> {
     })
 }
 
-fn parse_machine(args: &Args) -> Result<MachineProfile, ArgError> {
-    Ok(
-        match args.or_default::<String>("machine", "t3e".into())?.as_str() {
-            "t3e" => MachineProfile::cray_t3e(),
-            "sp2" => MachineProfile::ibm_sp2(),
-            "ideal" => MachineProfile::ideal(),
-            other => return Err(ArgError(format!("unknown machine {other:?}"))),
-        },
-    )
+fn lookup_machine(name: &str) -> Result<MachineProfile, ArgError> {
+    MachineProfile::by_key(name)
+        .ok_or_else(|| ArgError(format!("unknown machine {name:?} (valid: t3e, sp2, ideal)")))
+}
+
+fn parse_placement(args: &Args) -> Result<PlacementPolicy, ArgError> {
+    let name: String = args.or_default("placement", "static".into())?;
+    PlacementPolicy::parse(&name).ok_or_else(|| {
+        let valid: Vec<&str> = PlacementPolicy::ALL.iter().map(|p| p.name()).collect();
+        ArgError(format!(
+            "unknown placement {name:?} (valid: {})",
+            valid.join(", ")
+        ))
+    })
 }
 
 fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>> {
     let input: String = args.required("input")?;
     let procs: usize = args.required("procs")?;
     let algorithm = parse_algorithm(args)?;
-    let machine = parse_machine(args)?;
+    let machine_arg: Option<String> = args.optional("machine")?;
+    let cluster_path: Option<String> = args.optional("cluster")?;
     let support = min_support(args)?;
     let mut params = ParallelParams::with_min_support_count(0);
     params.min_support = support;
@@ -225,6 +237,7 @@ fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>>
     params.max_k = args.optional("max-k")?;
     params.memory_capacity = args.optional("memory-capacity")?;
     params.counter = parse_counter(args)?;
+    params.placement = parse_placement(args)?;
     let backend_name: String = args.or_default("backend", "sim".into())?;
     let backend = ExecBackend::parse(&backend_name).ok_or_else(|| {
         let valid: Vec<&str> = ExecBackend::ALL.iter().map(|b| b.name()).collect();
@@ -240,9 +253,25 @@ fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>>
         Some(path) => Some(FaultPlan::load(path).map_err(ArgError)?),
         None => None,
     };
+    let cluster = match (&cluster_path, &machine_arg) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError("give either --machine or --cluster, not both".into()).into())
+        }
+        (Some(path), None) => {
+            let cluster = ClusterProfile::load(path).map_err(ArgError)?;
+            cluster.validate_for_procs(procs).map_err(ArgError)?;
+            cluster
+        }
+        (None, name) => ClusterProfile::uniform(lookup_machine(name.as_deref().unwrap_or("t3e"))?),
+    };
 
     let dataset = read_transactions_auto(&input)?;
-    let miner = ParallelMiner::new(procs).machine(machine).backend(backend);
+    let machine_name = if cluster.is_uniform() {
+        cluster.base().name.clone()
+    } else {
+        format!("{} [{}]", cluster.base().name, cluster.label())
+    };
+    let miner = ParallelMiner::new(procs).cluster(cluster).backend(backend);
     let started = std::time::Instant::now();
     let run = match &plan {
         Some(plan) => miner.mine_with_faults(algorithm, &dataset, &params, Some(plan))?,
@@ -255,7 +284,7 @@ fn cmd_parallel(args: &Args, out: Out) -> Result<(), Box<dyn std::error::Error>>
                 "{} on {} simulated {} processors ({} transactions, min count {}):",
                 run.algorithm,
                 procs,
-                machine.name,
+                machine_name,
                 dataset.len(),
                 run.min_count
             )?;
@@ -995,6 +1024,180 @@ mod tests {
         ]);
         assert!(o.contains("measured response time"), "{o}");
         assert!(o.contains("recoveries (1 crashed of 3 ranks)"), "{o}");
+    }
+
+    #[test]
+    fn parallel_cluster_and_placement_flags() {
+        let db = temp("hetero.txt");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "300",
+            "--items",
+            "60",
+            "--patterns",
+            "20",
+            "--seed",
+            "13",
+        ]);
+        // A two-speed cluster file mines end-to-end under adaptive
+        // placement; the sim output carries the cluster label.
+        let cl = temp("two-speed.cluster");
+        std::fs::write(&cl, "machine = t3e\nspeed 1 = 0.5\n").unwrap();
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "4",
+            "--min-support",
+            "0.03",
+            "--max-k",
+            "3",
+            "--cluster",
+            &cl,
+            "--placement",
+            "adaptive",
+        ]);
+        assert!(o.contains("t3e,speed1x0.5"), "{o}");
+        assert!(o.contains("virtual response time"), "{o}");
+        // The native backend takes the same flags; placement names are
+        // accepted case-insensitively like --counter and --backend.
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "idd",
+            "--procs",
+            "4",
+            "--min-support",
+            "0.03",
+            "--max-k",
+            "3",
+            "--backend",
+            "native",
+            "--cluster",
+            &cl,
+            "--placement",
+            "ADAPTIVE",
+        ]);
+        assert!(o.contains("native worker threads"), "{o}");
+        // Unknown placements are rejected with the valid set listed.
+        let err = run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "3",
+            "--placement",
+            "magnetic",
+        ]);
+        assert!(err.contains("magnetic"), "{err}");
+        assert!(err.contains("valid: static, adaptive"), "{err}");
+        // --machine and --cluster are mutually exclusive.
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "3",
+            "--machine",
+            "t3e",
+            "--cluster",
+            &cl,
+        ])
+        .contains("not both"));
+        // Missing and out-of-range cluster files fail cleanly.
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "3",
+            "--cluster",
+            "/nonexistent.cluster",
+        ])
+        .contains("cannot read cluster profile"));
+        let oob = temp("oob.cluster");
+        std::fs::write(&oob, "speed 9 = 0.5\n").unwrap();
+        assert!(run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "3",
+            "--cluster",
+            &oob,
+        ])
+        .contains("out of range"));
+    }
+
+    #[test]
+    fn parallel_machine_errors_list_the_valid_set() {
+        let db = temp("machines.txt");
+        run_ok(&[
+            "gen",
+            "--out",
+            &db,
+            "--transactions",
+            "50",
+            "--items",
+            "20",
+            "--patterns",
+            "5",
+        ]);
+        let err = run_err(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "2",
+            "--machine",
+            "cray-3",
+        ]);
+        assert!(err.contains("valid: t3e, sp2, ideal"), "{err}");
+        // Machine keys are case-insensitive via MachineProfile::by_key.
+        let o = run_ok(&[
+            "parallel",
+            "--input",
+            &db,
+            "--algorithm",
+            "cd",
+            "--procs",
+            "2",
+            "--min-count",
+            "2",
+            "--max-k",
+            "2",
+            "--machine",
+            "SP2",
+        ]);
+        assert!(o.contains("IBM SP2"), "{o}");
     }
 
     #[test]

@@ -30,13 +30,17 @@ pub struct Packing {
 impl Packing {
     /// Relative load imbalance: `max/avg − 1` over non-zero totals, 0 for
     /// an empty packing. The paper reports this metric (1.3% at P=4, 2.3%
-    /// at P=8 for candidate counts).
+    /// at P=8 for candidate counts). The average runs over **non-empty**
+    /// bins, so a packing where one bin holds everything and the rest are
+    /// unused (e.g. more processors than first-item groups) reports 0, not
+    /// `P − 1`.
     pub fn imbalance(&self) -> f64 {
         let total: u64 = self.loads.iter().sum();
         if total == 0 || self.loads.is_empty() {
             return 0.0;
         }
-        let avg = total as f64 / self.loads.len() as f64;
+        let nonempty = self.loads.iter().filter(|&&l| l > 0).count();
+        let avg = total as f64 / nonempty as f64;
         let max = *self.loads.iter().max().unwrap() as f64;
         max / avg - 1.0
     }
@@ -60,6 +64,45 @@ pub fn pack_lpt(weights: &[u64], bins: usize) -> Packing {
             .unwrap();
         assignment[u] = bin;
         loads[bin] += weights[u];
+    }
+    Packing { assignment, loads }
+}
+
+/// Capacity-aware LPT: bins have relative capacities (speeds) and each
+/// unit goes to the bin with the **earliest projected finish time**
+/// `(load + weight) / capacity` — the heterogeneous generalization of
+/// least-loaded-first, greedily steering the heaviest units to the
+/// effectively fastest bins. Deterministic: ties broken by unit index
+/// then bin index.
+///
+/// With **uniform** capacities this is exactly [`pack_lpt`], bit for bit:
+/// the uniform case is detected and routed through the integer
+/// `(load, bin)` comparison, so no float division can perturb a
+/// homogeneous packing.
+pub fn pack_lpt_weighted(weights: &[u64], capacities: &[f64]) -> Packing {
+    assert!(!capacities.is_empty(), "need at least one bin");
+    assert!(
+        capacities.iter().all(|&c| c.is_finite() && c > 0.0),
+        "capacities must be finite and positive: {capacities:?}"
+    );
+    if capacities.windows(2).all(|w| w[0] == w[1]) {
+        return pack_lpt(weights, capacities.len());
+    }
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&u| (std::cmp::Reverse(weights[u]), u));
+    let mut loads = vec![0u64; capacities.len()];
+    let mut assignment = vec![0usize; weights.len()];
+    for u in order {
+        let w = weights[u];
+        let bin = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (((l + w) as f64 / capacities[i], i), i))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite finish times"))
+            .map(|(_, i)| i)
+            .unwrap();
+        assignment[u] = bin;
+        loads[bin] += w;
     }
     Packing { assignment, loads }
 }
@@ -112,19 +155,22 @@ pub fn partition_round_robin(candidates: &[ItemSet], p: usize) -> CandidateParti
 }
 
 /// IDD's partition: bin-pack first items by their candidate counts so each
-/// processor owns whole first-item groups of roughly equal total size, and
-/// give each processor the matching bitmap filter.
+/// processor owns whole first-item groups of roughly equal total size
+/// (scaled by its relative `capacity` — faster processors get heavier
+/// shares), and give each processor the matching bitmap filter. Uniform
+/// capacities reproduce the classic equal-share packing bit for bit.
 pub fn partition_by_first_item(
     candidates: &[ItemSet],
     num_items: u32,
-    p: usize,
+    capacities: &[f64],
 ) -> CandidatePartition {
+    let p = capacities.len();
     assert!(p > 0);
     let hist = crate::apriori::first_item_histogram(candidates, num_items);
     // Pack only items that actually start candidates.
     let active: Vec<u32> = (0..num_items).filter(|&i| hist[i as usize] > 0).collect();
     let weights: Vec<u64> = active.iter().map(|&i| hist[i as usize]).collect();
-    let packing = pack_lpt(&weights, p);
+    let packing = pack_lpt_weighted(&weights, capacities);
 
     let mut owner = vec![usize::MAX; num_items as usize];
     for (u, &item) in active.iter().enumerate() {
@@ -162,9 +208,10 @@ pub fn partition_by_first_item(
 pub fn partition_two_level(
     candidates: &[ItemSet],
     num_items: u32,
-    p: usize,
+    capacities: &[f64],
     split_threshold: u64,
 ) -> CandidatePartition {
+    let p = capacities.len();
     assert!(p > 0);
     assert!(
         candidates.iter().all(|c| c.len() >= 2),
@@ -207,7 +254,7 @@ pub fn partition_two_level(
         weights.push(w);
     }
 
-    let packing = pack_lpt(&weights, p);
+    let packing = pack_lpt_weighted(&weights, capacities);
     let mut unit_owner: std::collections::HashMap<Unit, usize> = std::collections::HashMap::new();
     for (u, unit) in units.iter().enumerate() {
         unit_owner.insert(*unit, packing.assignment[u]);
@@ -303,6 +350,68 @@ mod tests {
         assert!((p.imbalance() - 0.5).abs() < 1e-12);
     }
 
+    #[test]
+    fn imbalance_averages_over_nonempty_bins() {
+        // All-but-one-empty: one bin holds everything, so among the bins
+        // actually in use the packing is perfectly balanced. The old
+        // formula divided by the total bin count and reported P − 1.
+        let p = Packing {
+            assignment: vec![],
+            loads: vec![0, 0, 30, 0],
+        };
+        assert_eq!(p.imbalance(), 0.0);
+        // Mixed: non-empty loads [30, 10] → avg 20, max 30 → 50%,
+        // regardless of how many empty bins ride along.
+        let q = Packing {
+            assignment: vec![],
+            loads: vec![30, 0, 10, 0, 0],
+        };
+        assert!((q.imbalance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_uniform_capacities_reproduce_lpt_exactly() {
+        for weights in [
+            vec![5, 5, 4, 3, 3],
+            vec![7, 7, 7, 1, 2, 3],
+            vec![1000, 999, 1, 1, 1, 1, 1],
+            vec![],
+        ] {
+            for bins in [1usize, 2, 3, 7] {
+                let caps = vec![1.0; bins];
+                assert_eq!(pack_lpt_weighted(&weights, &caps), pack_lpt(&weights, bins));
+                // Any uniform value, not just 1.0.
+                let caps = vec![2.5; bins];
+                assert_eq!(pack_lpt_weighted(&weights, &caps), pack_lpt(&weights, bins));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_capacities_skew_loads_toward_fast_bins() {
+        // A 2×-capacity bin should absorb about twice the weight.
+        let weights = vec![1u64; 90];
+        let p = pack_lpt_weighted(&weights, &[2.0, 1.0]);
+        assert_eq!(p.loads.iter().sum::<u64>(), 90);
+        assert_eq!(p.loads, vec![60, 30]);
+        // The heaviest unit lands on the fastest bin first.
+        let q = pack_lpt_weighted(&[10, 1], &[1.0, 4.0]);
+        assert_eq!(q.assignment[0], 1);
+    }
+
+    #[test]
+    fn weighted_packing_is_deterministic() {
+        let w = vec![7, 7, 7, 1, 2, 3];
+        let caps = [1.0, 0.5, 2.0];
+        assert_eq!(pack_lpt_weighted(&w, &caps), pack_lpt_weighted(&w, &caps));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn weighted_rejects_bad_capacities() {
+        pack_lpt_weighted(&[1], &[1.0, 0.0]);
+    }
+
     fn sample_candidates() -> Vec<ItemSet> {
         // First-item histogram: item 0 → 4 candidates, 1 → 2, 2 → 1, 5 → 1.
         vec![
@@ -332,7 +441,7 @@ mod tests {
     #[test]
     fn first_item_partition_is_exact_and_filtered() {
         let cands = sample_candidates();
-        let part = partition_by_first_item(&cands, 8, 2);
+        let part = partition_by_first_item(&cands, 8, &[1.0; 2]);
         assert_eq!(part.total_candidates(), cands.len());
         // All candidates with the same first item land on one processor,
         // and that processor's filter admits the first item.
@@ -354,7 +463,7 @@ mod tests {
     fn first_item_partition_balances_weights() {
         // 100 first items with equal candidate counts pack evenly.
         let cands: Vec<ItemSet> = (0..100u32).map(|i| set(&[i, i + 100])).collect();
-        let part = partition_by_first_item(&cands, 200, 4);
+        let part = partition_by_first_item(&cands, 200, &[1.0; 4]);
         assert!(part.imbalance < 1e-9);
         for p in &part.parts {
             assert_eq!(p.len(), 25);
@@ -368,9 +477,9 @@ mod tests {
         let mut cands: Vec<ItemSet> = (1..=90u32).map(|s| set(&[0, s])).collect();
         cands.push(set(&[1, 2]));
         cands.push(set(&[2, 3]));
-        let single = partition_by_first_item(&cands, 100, 4);
+        let single = partition_by_first_item(&cands, 100, &[1.0; 4]);
         assert!(single.imbalance > 1.0, "hot item forces imbalance");
-        let double = partition_two_level(&cands, 100, 4, 10);
+        let double = partition_two_level(&cands, 100, &[1.0; 4], 10);
         assert!(
             double.imbalance < 0.3,
             "two-level split restores balance, got {}",
@@ -383,7 +492,7 @@ mod tests {
     fn two_level_filters_route_correctly() {
         let mut cands: Vec<ItemSet> = (1..=20u32).map(|s| set(&[0, s])).collect();
         cands.push(set(&[3, 4]));
-        let part = partition_two_level(&cands, 30, 3, 5);
+        let part = partition_two_level(&cands, 30, &[1.0; 3], 5);
         for (proc, cand_list) in part.parts.iter().enumerate() {
             for c in cand_list {
                 let first = c.first().unwrap();
@@ -409,13 +518,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "size >= 2")]
     fn two_level_rejects_singletons() {
-        partition_two_level(&[set(&[1])], 10, 2, 1);
+        partition_two_level(&[set(&[1])], 10, &[1.0; 2], 1);
     }
 
     #[test]
     fn partition_single_processor() {
         let cands = sample_candidates();
-        let part = partition_by_first_item(&cands, 8, 1);
+        let part = partition_by_first_item(&cands, 8, &[1.0; 1]);
         assert_eq!(part.parts[0].len(), cands.len());
         assert_eq!(part.imbalance, 0.0);
     }
@@ -428,8 +537,8 @@ mod tests {
         let cands = sample_candidates();
         for part in [
             partition_round_robin(&cands, 3),
-            partition_by_first_item(&cands, 8, 3),
-            partition_two_level(&cands, 8, 3, 2),
+            partition_by_first_item(&cands, 8, &[1.0; 3]),
+            partition_two_level(&cands, 8, &[1.0; 3], 2),
         ] {
             for p in &part.parts {
                 assert!(p.windows(2).all(|w| w[0] < w[1]), "part not sorted: {p:?}");

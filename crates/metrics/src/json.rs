@@ -800,13 +800,13 @@ mod tests {
     #[test]
     fn malformed_surrogates_are_rejected() {
         for text in [
-            r#""\ud83d""#,        // high surrogate at end of string
-            r#""\ud83dx""#,       // high surrogate followed by a plain char
-            r#""\ud83d\n""#,      // high surrogate followed by another escape
-            r#""\ud83d\ud83d""#,  // high surrogate followed by another high
-            r#""\ude00""#,        // lone low surrogate
-            r#""\u12g4""#,        // non-hex digit
-            r#""\u+123""#,        // sign accepted by from_str_radix, not JSON
+            r#""\ud83d""#,       // high surrogate at end of string
+            r#""\ud83dx""#,      // high surrogate followed by a plain char
+            r#""\ud83d\n""#,     // high surrogate followed by another escape
+            r#""\ud83d\ud83d""#, // high surrogate followed by another high
+            r#""\ude00""#,       // lone low surrogate
+            r#""\u12g4""#,       // non-hex digit
+            r#""\u+123""#,       // sign accepted by from_str_radix, not JSON
         ] {
             assert!(parse_json(text).is_err(), "{text} should be rejected");
         }

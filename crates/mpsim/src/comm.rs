@@ -103,7 +103,9 @@ pub struct Comm {
     trace: Option<Vec<TraceEvent>>,
     // --- fault layer -----------------------------------------------------
     plan: Option<Arc<FaultPlan>>,
-    /// Compute slowdown of this rank (1.0 unless it is a straggler).
+    /// Combined compute multiplier of this rank: fault-plan straggler
+    /// slowdown × cluster slowdown (1/speed), computed by the runtime.
+    /// 1.0 on a homogeneous fault-free machine.
     slowdown: f64,
     /// Pending injected crash, fired when the clock reaches this time.
     crash_time: Option<f64>,
@@ -131,6 +133,7 @@ impl Comm {
         rank: usize,
         size: usize,
         machine: MachineProfile,
+        slowdown: f64,
         topology: Topology,
         senders: Vec<Sender<Envelope>>,
         inbox: Receiver<Envelope>,
@@ -139,7 +142,6 @@ impl Comm {
         backend: ExecBackend,
         wall_origin: Option<std::time::Instant>,
     ) -> Self {
-        let slowdown = plan.as_ref().map_or(1.0, |p| p.slowdown_of(rank));
         let (crash_time, crash_pass) = match plan.as_ref().and_then(|p| p.crash_of(rank)) {
             Some(crate::fault::CrashPoint::AtTime(t)) => (Some(t), None),
             Some(crate::fault::CrashPoint::AtPass(k)) => (None, Some(k)),
@@ -356,7 +358,8 @@ impl Comm {
     }
 
     /// Charges `seconds` of local computation, scaled by this rank's
-    /// straggler slowdown factor. On the native backend nothing is
+    /// combined slowdown factor (cluster speed × fault-plan straggler
+    /// slowdown). On the native backend nothing is
     /// charged; the wall time since the previous charge point is
     /// attributed to counting instead (charge points bracket the real
     /// work they price).
@@ -387,8 +390,8 @@ impl Comm {
             self.native_charge(WallCategory::Counting, true);
             return;
         }
-        let m = self.machine;
-        self.advance(m.counting_time(work));
+        let t = self.machine.counting_time(work);
+        self.advance(t);
     }
 
     /// Charges I/O time for (re-)reading `bytes` from the database.

@@ -116,6 +116,12 @@ impl FaultPlan {
 
     /// Makes `rank` a straggler: all its compute charges are multiplied
     /// by `factor` (≥ 1).
+    ///
+    /// The map recorded here is pure scenario data (format, label,
+    /// validation); *applying* it is the per-rank speed path's job — the
+    /// runtime folds plan slowdowns and [`crate::ClusterProfile`] speeds
+    /// into one combined multiplier per rank, so a straggler is just a
+    /// degenerate heterogeneous cluster.
     pub fn slowdown(mut self, rank: usize, factor: f64) -> Self {
         self.slowdowns.insert(rank, factor);
         self

@@ -43,6 +43,16 @@
 //! assert!(result.response_time() > 0.0, "communication takes virtual time");
 //! ```
 
+//! ## Heterogeneous clusters
+//!
+//! A [`ClusterProfile`] describes a machine whose ranks are not all the
+//! same speed: a base [`MachineProfile`] plus per-rank relative `speed`
+//! factors, loadable from a small text file
+//! ([`Simulator::cluster`]). Per-rank speeds multiply compute charges on
+//! the sim backend and stretch counting brackets with real sleeps on the
+//! native one; fault-plan straggler slowdowns ride the same combined
+//! per-rank multiplier.
+
 //! ## Fault injection
 //!
 //! A [`FaultPlan`] makes the simulated machine unreliable — deterministic
@@ -75,7 +85,7 @@ mod wall;
 
 pub use comm::{Comm, RecvFault, RecvHandle, Scope, SendHandle};
 pub use fault::{CrashPoint, FaultPlan};
-pub use machine::{CountingWork, MachineProfile};
+pub use machine::{ClusterProfile, CountingWork, MachineProfile};
 pub use runtime::{SimResult, Simulator};
 pub use stats::{imbalance, RankStats};
 pub use topology::Topology;

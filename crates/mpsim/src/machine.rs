@@ -6,12 +6,29 @@
 //! to plausible per-operation costs on the respective CPUs (600 MHz Alpha
 //! EV5 vs 66.7 MHz Power2); only their *ratios* to the communication
 //! constants matter for the shape of the curves.
+//!
+//! A [`ClusterProfile`] lifts the single profile to a whole (possibly
+//! heterogeneous) machine: a base [`MachineProfile`] plus per-rank
+//! relative `speed` factors, loadable from a small line-based text file
+//! in the same spirit as [`crate::FaultPlan`]'s format:
+//!
+//! ```text
+//! # 2 slow ranks on a T3E
+//! machine = t3e
+//! speed 3 = 0.5    # rank 3 runs at half speed
+//! speed 7 = 0.25
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::str::FromStr;
 
 /// Per-operation time constants (seconds) of a simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineProfile {
     /// Human-readable name for reports.
-    pub name: &'static str,
+    pub name: String,
     /// Message startup latency `t_s`.
     pub t_s: f64,
     /// Per-byte link time `t_w` (1 / bandwidth).
@@ -52,7 +69,7 @@ impl MachineProfile {
     /// 303 MB/s effective bandwidth, 16 µs startup, memory-resident data.
     pub fn cray_t3e() -> Self {
         MachineProfile {
-            name: "Cray T3E",
+            name: "Cray T3E".to_owned(),
             t_s: 16e-6,
             t_w: 1.0 / 303e6,
             t_hop: 0.1e-6,
@@ -72,7 +89,7 @@ impl MachineProfile {
     /// operation), HPS switch at ~35 MB/s effective, disk-resident data.
     pub fn ibm_sp2() -> Self {
         MachineProfile {
-            name: "IBM SP2",
+            name: "IBM SP2".to_owned(),
             t_s: 40e-6,
             t_w: 1.0 / 35e6,
             t_hop: 0.5e-6,
@@ -92,7 +109,7 @@ impl MachineProfile {
     /// isolate computation costs (communication becomes free).
     pub fn ideal() -> Self {
         MachineProfile {
-            name: "ideal",
+            name: "ideal".to_owned(),
             t_s: 0.0,
             t_w: 0.0,
             t_hop: 0.0,
@@ -106,6 +123,25 @@ impl MachineProfile {
             t_word: 8e-9,
             io_per_byte: 0.0,
         }
+    }
+
+    /// Looks up a preset profile by its short key (`t3e`, `sp2`,
+    /// `ideal`), case-insensitively — the spelling the CLI's `--machine`
+    /// flag and the [`ClusterProfile`] text format use.
+    pub fn by_key(key: &str) -> Option<Self> {
+        PRESET_KEYS
+            .iter()
+            .find(|&&(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|&(_, make)| make())
+    }
+
+    /// The short key of this profile if it is one of the presets
+    /// (matched by name), `None` for user-defined profiles.
+    pub fn key(&self) -> Option<&'static str> {
+        PRESET_KEYS
+            .iter()
+            .find(|&&(_, make)| make().name == self.name)
+            .map(|&(k, _)| k)
     }
 
     /// Effective bandwidth in MB/s (for reports).
@@ -136,6 +172,207 @@ impl MachineProfile {
             + work.node_visits as f64 * self.t_leaf
             + work.candidate_checks as f64 * self.t_check
             + work.intersection_words as f64 * self.t_word
+    }
+}
+
+/// A preset entry: short key plus its profile constructor.
+type PresetEntry = (&'static str, fn() -> MachineProfile);
+
+/// The preset profiles by short key, in CLI listing order.
+const PRESET_KEYS: [PresetEntry; 3] = [
+    ("t3e", MachineProfile::cray_t3e),
+    ("sp2", MachineProfile::ibm_sp2),
+    ("ideal", MachineProfile::ideal),
+];
+
+/// A whole (possibly heterogeneous) machine: a base [`MachineProfile`]
+/// shared by every rank plus per-rank relative **speed** factors.
+///
+/// A rank with speed `s` performs compute charges `1/s` times as fast as
+/// the base profile: `speed 3 = 0.5` makes rank 3 take twice as long per
+/// counting operation (communication and I/O constants are unaffected —
+/// speed models a slower CPU, not a slower network or disk). The default
+/// speed is 1.0, so a profile with no overrides is exactly the old
+/// homogeneous machine — including bit-identical virtual clocks, because
+/// the effective multiplier stays the literal `1.0` the charge path has
+/// always applied.
+///
+/// Straggler `slowdown`s from a [`crate::FaultPlan`] ride the same
+/// per-rank multiplier: the runtime combines `plan slowdown ÷ cluster
+/// speed` into one factor per rank, so a fault-injected straggler is just
+/// a degenerate heterogeneous cluster.
+///
+/// Like [`crate::FaultPlan`], a cluster is pure data with a line-based
+/// text format (see the module docs) whose [`fmt::Display`] output and
+/// [`FromStr`] parser are exact inverses for preset-based profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterProfile {
+    base: MachineProfile,
+    speeds: BTreeMap<usize, f64>,
+}
+
+impl Default for ClusterProfile {
+    fn default() -> Self {
+        ClusterProfile::uniform(MachineProfile::cray_t3e())
+    }
+}
+
+impl ClusterProfile {
+    /// A homogeneous cluster: every rank runs `base` at speed 1.0.
+    pub fn uniform(base: MachineProfile) -> Self {
+        ClusterProfile {
+            base,
+            speeds: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the relative speed of `rank` (builder style). `factor`
+    /// must be finite and positive; values below 1.0 are slower than the
+    /// base machine, above 1.0 faster.
+    pub fn speed(mut self, rank: usize, factor: f64) -> Self {
+        self.speeds.insert(rank, factor);
+        self
+    }
+
+    /// The base profile shared by every rank.
+    pub fn base(&self) -> &MachineProfile {
+        &self.base
+    }
+
+    /// The relative speed of `rank` (1.0 unless overridden).
+    pub fn speed_of(&self, rank: usize) -> f64 {
+        self.speeds.get(&rank).copied().unwrap_or(1.0)
+    }
+
+    /// The compute-charge multiplier of `rank`: `1 / speed`. Exactly 1.0
+    /// for non-overridden ranks, so homogeneous clusters charge through
+    /// the same literal constant as before the cluster seam existed.
+    pub fn slowdown_of(&self, rank: usize) -> f64 {
+        match self.speeds.get(&rank) {
+            Some(&s) => 1.0 / s,
+            None => 1.0,
+        }
+    }
+
+    /// The concrete profile `rank` runs (currently the shared base; the
+    /// per-rank speed is applied as a charge multiplier, not baked into
+    /// the constants, so reports can still name one machine).
+    pub fn profile_for(&self, _rank: usize) -> MachineProfile {
+        self.base.clone()
+    }
+
+    /// Whether every rank runs at the base speed.
+    pub fn is_uniform(&self) -> bool {
+        self.speeds.is_empty()
+    }
+
+    /// A compact deterministic descriptor, e.g. `"t3e"` or
+    /// `"t3e,speed3x0.5"` — the spelling experiment scenario labels use.
+    pub fn label(&self) -> String {
+        let mut parts = vec![self.base.key().unwrap_or("custom").to_owned()];
+        for (rank, factor) in &self.speeds {
+            parts.push(format!("speed{rank}x{factor}"));
+        }
+        parts.join(",")
+    }
+
+    /// Checks the profile's parameters; returns a human-readable
+    /// complaint for out-of-range values.
+    pub fn validate(&self) -> Result<(), String> {
+        for (&rank, &factor) in &self.speeds {
+            if !(factor.is_finite() && factor > 0.0) {
+                return Err(format!(
+                    "speed factor for rank {rank} must be finite and > 0, got {factor}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the profile against a concrete rank count: every overridden
+    /// rank must exist in a `procs`-rank run. [`ClusterProfile::validate`]
+    /// is P-agnostic (a cluster file is reusable across run sizes); this
+    /// is the check a runner applies once P is known.
+    pub fn validate_for_procs(&self, procs: usize) -> Result<(), String> {
+        self.validate()?;
+        if let Some(&rank) = self.speeds.keys().find(|&&r| r >= procs) {
+            return Err(format!(
+                "speed rank {rank} is out of range for {procs} ranks (valid: 0..={})",
+                procs.saturating_sub(1)
+            ));
+        }
+        Ok(())
+    }
+
+    /// Loads a cluster profile from the text format (see module docs).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+            format!(
+                "cannot read cluster profile {}: {e}",
+                path.as_ref().display()
+            )
+        })?;
+        text.parse()
+    }
+}
+
+impl fmt::Display for ClusterProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "machine = {}", self.base.key().unwrap_or("t3e"))?;
+        for (rank, factor) in &self.speeds {
+            writeln!(f, "speed {rank} = {factor}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ClusterProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut cluster = ClusterProfile::default();
+        for (lineno, raw) in s.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (lhs, rhs) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (lhs, rhs) = (lhs.trim(), rhs.trim());
+            let mut lhs_words = lhs.split_whitespace();
+            let key = lhs_words.next().unwrap_or("");
+            let arg = lhs_words.next();
+            match (key, arg) {
+                ("machine", None) => {
+                    cluster.base = MachineProfile::by_key(rhs).ok_or_else(|| {
+                        format!(
+                            "line {}: unknown machine `{rhs}` (valid: {})",
+                            lineno + 1,
+                            PRESET_KEYS
+                                .iter()
+                                .map(|&(k, _)| k)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    })?;
+                }
+                ("speed", Some(rank)) => {
+                    let rank: usize = rank
+                        .parse()
+                        .map_err(|_| format!("line {}: invalid rank `{rank}`", lineno + 1))?;
+                    let factor: f64 = rhs
+                        .parse()
+                        .map_err(|_| format!("line {}: invalid factor `{rhs}`", lineno + 1))?;
+                    cluster.speeds.insert(rank, factor);
+                }
+                _ => {
+                    return Err(format!("line {}: unknown key `{lhs}`", lineno + 1));
+                }
+            }
+        }
+        cluster.validate()?;
+        Ok(cluster)
     }
 }
 
@@ -250,5 +487,121 @@ mod tests {
     fn counting_time_of_nothing_is_zero() {
         let m = MachineProfile::ibm_sp2();
         assert_eq!(m.counting_time(&CountingWork::default()), 0.0);
+    }
+
+    // --- cluster profiles ------------------------------------------------
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Satellite: every generated cluster's Display output reparses to
+        // an equal cluster (Display ↔ FromStr are exact inverses on valid
+        // preset-based profiles), mirroring the fault-plan round-trip.
+        // Speed overrides arrive as packed integers (the vendored
+        // proptest has no tuple strategies): rank in the low bits, factor
+        // above.
+        #[test]
+        fn cluster_display_fromstr_round_trips(
+            base_idx in 0usize..3,
+            speed_packed in prop::collection::vec(0u64..32 * 40, 0..5),
+        ) {
+            let base = PRESET_KEYS[base_idx].1();
+            let mut cluster = ClusterProfile::uniform(base);
+            for &x in &speed_packed {
+                // rank in 0..32, factor in {0.1, 0.2, …, 4.0} by tenths.
+                cluster = cluster.speed((x % 32) as usize, (x / 32 + 1) as f64 / 10.0);
+            }
+            prop_assert!(cluster.validate().is_ok(), "generator made invalid cluster");
+            let reparsed: ClusterProfile = cluster.to_string().parse().expect("reparse");
+            prop_assert_eq!(reparsed, cluster);
+        }
+    }
+
+    #[test]
+    fn cluster_text_format_round_trips() {
+        let cluster = ClusterProfile::uniform(MachineProfile::ibm_sp2())
+            .speed(3, 0.5)
+            .speed(7, 0.25);
+        let text = cluster.to_string();
+        let parsed: ClusterProfile = text.parse().expect("round trip");
+        assert_eq!(parsed, cluster);
+        assert_eq!(cluster.label(), "sp2,speed3x0.5,speed7x0.25");
+    }
+
+    #[test]
+    fn cluster_defaults_are_homogeneous() {
+        let cluster = ClusterProfile::default();
+        assert!(cluster.is_uniform());
+        assert_eq!(cluster.base().name, "Cray T3E");
+        assert_eq!(cluster.speed_of(5), 1.0);
+        // The multiplier of a non-overridden rank is the literal 1.0 —
+        // the bit pattern the homogeneous charge path has always used.
+        assert_eq!(cluster.slowdown_of(5).to_bits(), 1.0f64.to_bits());
+        assert_eq!(cluster.label(), "t3e");
+        assert!(cluster.validate_for_procs(1).is_ok());
+    }
+
+    #[test]
+    fn cluster_speed_inverts_to_slowdown() {
+        let cluster = ClusterProfile::default().speed(2, 0.5).speed(3, 4.0);
+        assert_eq!(cluster.slowdown_of(2), 2.0);
+        assert_eq!(cluster.slowdown_of(3), 0.25);
+        assert_eq!(cluster.profile_for(2).name, "Cray T3E");
+        assert!(!cluster.is_uniform());
+    }
+
+    #[test]
+    fn cluster_comments_and_blank_lines_are_ignored() {
+        let cluster: ClusterProfile =
+            "# hetero\n\nmachine = SP2 # case-insensitive\nspeed 1 = 0.5\n"
+                .parse()
+                .expect("parses");
+        assert_eq!(cluster.base().name, "IBM SP2");
+        assert_eq!(cluster.speed_of(1), 0.5);
+        let empty: ClusterProfile = "\n  \n# nothing\n".parse().expect("parses");
+        assert_eq!(empty, ClusterProfile::default());
+    }
+
+    #[test]
+    fn invalid_clusters_are_rejected() {
+        assert!("machine = cm5".parse::<ClusterProfile>().is_err());
+        assert!("speed 1 = 0".parse::<ClusterProfile>().is_err());
+        assert!("speed 1 = -2".parse::<ClusterProfile>().is_err());
+        assert!("speed 1 = inf".parse::<ClusterProfile>().is_err());
+        assert!("speed x = 1.0".parse::<ClusterProfile>().is_err());
+        assert!("frobnicate = 1".parse::<ClusterProfile>().is_err());
+        assert!("machine".parse::<ClusterProfile>().is_err());
+        let err = "machine = cm5".parse::<ClusterProfile>().unwrap_err();
+        assert!(err.contains("t3e, sp2, ideal"), "{err}");
+    }
+
+    #[test]
+    fn cluster_validate_for_procs_flags_out_of_range_ranks() {
+        let cluster = ClusterProfile::default().speed(8, 0.5);
+        assert!(cluster.validate().is_ok(), "P-agnostic validate must pass");
+        let err = cluster.validate_for_procs(8).unwrap_err();
+        assert!(
+            err.contains("speed rank 8") && err.contains("0..=7"),
+            "{err}"
+        );
+        assert!(cluster.validate_for_procs(9).is_ok());
+    }
+
+    #[test]
+    fn preset_keys_round_trip() {
+        for (key, make) in PRESET_KEYS {
+            let m = make();
+            assert_eq!(m.key(), Some(key), "{}", m.name);
+            assert_eq!(MachineProfile::by_key(key), Some(make()));
+            assert_eq!(MachineProfile::by_key(&key.to_uppercase()), Some(make()));
+        }
+        assert_eq!(MachineProfile::by_key("cm5"), None);
+        let custom = MachineProfile {
+            name: "my box".to_owned(),
+            ..MachineProfile::ideal()
+        };
+        assert_eq!(custom.key(), None);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::comm::{Comm, CrashUnwind, SecondaryPanic};
 use crate::fault::FaultPlan;
-use crate::machine::MachineProfile;
+use crate::machine::{ClusterProfile, MachineProfile};
 use crate::message::Envelope;
 use crate::stats::{imbalance, RankStats};
 use crate::topology::Topology;
@@ -16,7 +16,7 @@ use std::sync::{Arc, Once};
 #[derive(Debug, Clone)]
 pub struct Simulator {
     procs: usize,
-    machine: MachineProfile,
+    cluster: ClusterProfile,
     topology: Topology,
     tracing: bool,
     plan: Option<Arc<FaultPlan>>,
@@ -51,7 +51,7 @@ impl Simulator {
         assert!(procs >= 1, "need at least one processor");
         Simulator {
             procs,
-            machine: MachineProfile::cray_t3e(),
+            cluster: ClusterProfile::default(),
             topology: Topology::torus_for(procs),
             tracing: false,
             plan: None,
@@ -89,9 +89,26 @@ impl Simulator {
         self
     }
 
-    /// Overrides the machine profile.
+    /// Overrides the machine profile (every rank runs it at speed 1.0 —
+    /// shorthand for a uniform [`ClusterProfile`]).
     pub fn machine(mut self, machine: MachineProfile) -> Self {
-        self.machine = machine;
+        self.cluster = ClusterProfile::uniform(machine);
+        self
+    }
+
+    /// Overrides the whole cluster profile: base machine plus per-rank
+    /// relative speeds. Per-rank speeds multiply compute charges (and, on
+    /// the native backend, stretch counting brackets with real sleeps)
+    /// exactly like fault-plan straggler slowdowns — the two compose into
+    /// one per-rank factor.
+    ///
+    /// # Panics
+    /// If the profile's parameters are out of range for `procs` ranks.
+    pub fn cluster(mut self, cluster: ClusterProfile) -> Self {
+        cluster
+            .validate_for_procs(self.procs)
+            .unwrap_or_else(|e| panic!("invalid cluster profile: {e}"));
+        self.cluster = cluster;
         self
     }
 
@@ -169,7 +186,13 @@ impl Simulator {
             for (rank, inbox) in receivers.into_iter().enumerate() {
                 let senders = senders.clone();
                 let f = &f;
-                let machine = self.machine;
+                let machine = self.cluster.profile_for(rank);
+                // One combined compute multiplier per rank: fault-plan
+                // straggler slowdown × cluster slowdown (1/speed). Both
+                // default to the literal 1.0, so homogeneous fault-free
+                // runs charge through exactly the historical constant.
+                let slowdown = self.plan.as_ref().map_or(1.0, |p| p.slowdown_of(rank))
+                    * self.cluster.slowdown_of(rank);
                 let topology = self.topology;
                 let tracing = self.tracing;
                 let plan = self.plan.clone();
@@ -179,6 +202,7 @@ impl Simulator {
                         rank,
                         p,
                         machine,
+                        slowdown,
                         topology,
                         senders,
                         inbox,
@@ -1079,6 +1103,93 @@ mod tests {
             });
         assert!((r.ranks[0].busy - 0.25).abs() < 1e-12);
         assert!((r.ranks[1].busy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_speeds_scale_compute_charges() {
+        use crate::ClusterProfile;
+        // Rank 1 at half speed: its compute charges double, mirroring a
+        // fault-plan slowdown of 2.
+        let r = Simulator::new(2)
+            .cluster(ClusterProfile::default().speed(1, 0.5))
+            .run(|comm| {
+                comm.advance(0.25);
+                comm.clock()
+            });
+        assert!((r.ranks[0].busy - 0.25).abs() < 1e-12);
+        assert!((r.ranks[1].busy - 0.5).abs() < 1e-12);
+        // A fast rank (speed 2.0) halves its charges.
+        let r = Simulator::new(2)
+            .cluster(ClusterProfile::default().speed(1, 2.0))
+            .run(|comm| {
+                comm.advance(0.25);
+                comm.clock()
+            });
+        assert!((r.ranks[1].busy - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_and_straggler_slowdowns_compose() {
+        use crate::ClusterProfile;
+        // speed 0.5 (×2) on top of a plan slowdown of 3 → ×6.
+        let r = Simulator::new(2)
+            .cluster(ClusterProfile::default().speed(1, 0.5))
+            .fault_plan(FaultPlan::new().slowdown(1, 3.0))
+            .run(|comm| {
+                comm.advance(0.1);
+                comm.clock()
+            });
+        assert!((r.ranks[0].busy - 0.1).abs() < 1e-12);
+        assert!((r.ranks[1].busy - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_cluster_changes_nothing() {
+        use crate::ClusterProfile;
+        let workload = |comm: &mut Comm| {
+            comm.advance(1e-4);
+            let mut v = vec![comm.rank() as u64; 100];
+            comm.world().allreduce_sum_u64(&mut v);
+            comm.clock()
+        };
+        let bare = t3e(4).run(workload);
+        let uniform = Simulator::new(4)
+            .cluster(ClusterProfile::uniform(MachineProfile::cray_t3e()))
+            .run(workload);
+        for (a, b) in bare.ranks.iter().zip(&uniform.ranks) {
+            assert_eq!(a.clock.to_bits(), b.clock.to_bits());
+            assert_eq!(a.busy.to_bits(), b.busy.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster profile")]
+    fn out_of_range_cluster_rank_rejected() {
+        let _ = Simulator::new(2).cluster(crate::ClusterProfile::default().speed(5, 0.5));
+    }
+
+    #[test]
+    fn native_cluster_speeds_sleep_for_real() {
+        use crate::ClusterProfile;
+        // A half-speed rank on the native backend really sleeps out the
+        // extra time: its counting bracket is at least as long as the
+        // fast rank's.
+        let r = Simulator::new(2)
+            .cluster(ClusterProfile::default().speed(1, 0.5))
+            .backend(ExecBackend::Native)
+            .run(|comm| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                comm.advance(0.0);
+                comm.rank()
+            });
+        assert_eq!(r.results, vec![0, 1]);
+        assert!(
+            r.wall[1].counting >= r.wall[0].counting,
+            "slow rank bracket {} < fast rank bracket {}",
+            r.wall[1].counting,
+            r.wall[0].counting
+        );
+        assert!(r.wall[1].counting >= 9e-3, "5ms bracket + 5ms pad expected");
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub enum ExecBackend {
     Sim,
     /// Native wall-clock execution: no charges, real elapsed time measured
     /// per rank. Fault plans run for real here: injected crashes are
-    /// worker-thread panics, stragglers sleep, and drops retransmit
-    /// against wall-clock RTO timers (see the fault module).
+    /// worker-thread panics, stragglers — and slow
+    /// [`crate::ClusterProfile`] ranks — sleep out their extra time, and
+    /// drops retransmit against wall-clock RTO timers (see the fault
+    /// module).
     Native,
 }
 

@@ -2,6 +2,7 @@
 //! loop, cost charging, pass-1 counting, paging, and the ring-pipelined
 //! data movement of Figure 6.
 
+use crate::config::PlacementPolicy;
 use armine_core::apriori::apriori_gen;
 use armine_core::counter::{CandidateCounter, CounterBackend, CounterStats};
 use armine_core::hashtree::{HashTreeParams, OwnershipFilter};
@@ -20,6 +21,9 @@ pub(crate) type TransactionPage = Arc<[Transaction]>;
 
 /// Tag space for transaction pages (round/step encoded in high bits).
 pub(crate) const TAG_DATA: u64 = 1 << 20;
+
+/// Tag for pass-boundary re-balancing transfers (adaptive placement).
+pub(crate) const TAG_REBAL: u64 = 1 << 22;
 
 /// What every rank knows at the start of a pass attempt. Under crash
 /// recovery the last three fields evolve: the member list shrinks as
@@ -41,6 +45,13 @@ pub(crate) struct RankCtx {
     pub my_index: usize,
     /// Recovery epoch: incremented after every membership sync.
     pub epoch: u64,
+    /// Relative placement capacity of each member (indexed like
+    /// `members`): how much work the placement seam steers to that rank.
+    /// All 1.0 under static placement; re-scored at every pass boundary
+    /// from measured counting times under adaptive placement. Identical
+    /// on every rank — partitioning decisions derived from it must agree
+    /// everywhere.
+    pub capacities: Vec<f64>,
 }
 
 impl RankCtx {
@@ -61,6 +72,7 @@ impl RankCtx {
             members: (0..procs).collect(),
             my_index: rank,
             epoch: 0,
+            capacities: vec![1.0; procs],
         }
     }
 
@@ -125,6 +137,156 @@ pub(crate) struct RankOutput {
     pub shard: armine_metrics::MetricShard,
 }
 
+/// Contiguous share boundaries of the placement seam: cut points
+/// splitting `total` units among ranks in proportion to their
+/// `capacities` — `bounds[i]..bounds[i+1]` is rank `i`'s share. Every
+/// consumer of contiguous data shares (initial page placement, recovery
+/// adoption, pass-boundary re-balancing) slices through this one
+/// function so static and adaptive placement agree on the geometry.
+///
+/// **Uniform** capacities take an exact integer path (`i·total/n`),
+/// reproducing the historical even split bit for bit; heterogeneous
+/// capacities use proportional cut points.
+pub(crate) fn share_bounds(total: usize, capacities: &[f64]) -> Vec<usize> {
+    let n = capacities.len();
+    assert!(n > 0, "need at least one rank");
+    if capacities.windows(2).all(|w| w[0] == w[1]) {
+        return (0..=n).map(|i| i * total / n).collect();
+    }
+    let sum: f64 = capacities.iter().sum();
+    let mut bounds = Vec::with_capacity(n + 1);
+    let mut prefix = 0.0f64;
+    bounds.push(0);
+    for (i, &c) in capacities.iter().enumerate() {
+        prefix += c;
+        let cut = if i + 1 == n {
+            total
+        } else {
+            ((total as f64 * prefix / sum) as usize).min(total)
+        };
+        // Cut points are monotone even if float rounding wobbles.
+        bounds.push(cut.max(*bounds.last().unwrap()));
+    }
+    bounds
+}
+
+/// Pass-boundary capacity re-scoring — the adaptive placement policy's
+/// feedback loop. Every member reports the counting time it spent on the
+/// pass just committed (virtual `busy` under sim, the measured counting
+/// bracket under native); the allgathered vector is identical everywhere,
+/// so every rank derives the same new capacities: a rank's effective
+/// speed is the share it was just given (∝ old capacity) divided by the
+/// time it took. Times are clamped to 1% of the slowest rank's so a rank
+/// that happened to do no counting (e.g. an empty slice) cannot grab an
+/// unbounded share.
+///
+/// When `mobile_pages` is set (replicated-candidate formulations, whose
+/// counting load is proportional to the local slice), the members also
+/// re-slice the global transaction sequence to the new capacities and
+/// ship the moved segments — both sides compute the identical transfer
+/// plan from the allgathered counts.
+pub(crate) fn rebalance_placement(
+    comm: &mut Comm,
+    ctx: &mut RankCtx,
+    mobile_pages: bool,
+    busy_mark: &mut f64,
+) {
+    let busy = comm.stats().busy;
+    let spent = (busy - *busy_mark).max(0.0);
+    *busy_mark = busy;
+    let reports: Vec<(f64, u64)> = ctx
+        .world(comm)
+        .allgather((spent, ctx.local.len() as u64), 16);
+    let t_max = reports.iter().map(|r| r.0).fold(0.0f64, f64::max);
+    if t_max > 0.0 {
+        let floor = t_max * 1e-2;
+        let raw: Vec<f64> = ctx
+            .capacities
+            .iter()
+            .zip(&reports)
+            .map(|(&cap, &(t, _))| cap / t.max(floor))
+            .collect();
+        let sum: f64 = raw.iter().sum();
+        let n = raw.len() as f64;
+        ctx.capacities = raw.iter().map(|&r| r * n / sum).collect();
+    }
+    if mobile_pages {
+        let old_counts: Vec<usize> = reports.iter().map(|r| r.1 as usize).collect();
+        rebalance_pages(comm, ctx, &old_counts);
+    }
+}
+
+/// Moves transactions between members so local-slice sizes match the
+/// current capacities. The global transaction sequence is member 0's
+/// slice, then member 1's, …; old and new assignments are both contiguous
+/// slices of it, so the transfer plan is a deterministic interval
+/// intersection every member computes identically from the allgathered
+/// `old_counts`. Deadlock-free: all sends are posted asynchronously
+/// before any receive blocks.
+fn rebalance_pages(comm: &mut Comm, ctx: &mut RankCtx, old_counts: &[usize]) {
+    let n = old_counts.len();
+    let total: usize = old_counts.iter().sum();
+    let bounds = share_bounds(total, &ctx.capacities);
+    let new_counts: Vec<usize> = (0..n).map(|i| bounds[i + 1] - bounds[i]).collect();
+    if new_counts == old_counts || total == 0 {
+        return;
+    }
+    let mut old_start = vec![0usize; n + 1];
+    for i in 0..n {
+        old_start[i + 1] = old_start[i] + old_counts[i];
+    }
+    let me = ctx.my_index;
+    let (my_old_lo, my_old_hi) = (old_start[me], old_start[me + 1]);
+    let (my_new_lo, my_new_hi) = (bounds[me], bounds[me + 1]);
+    let mut world = ctx.world(comm);
+    // Post every outgoing segment (old ∩ peer's new range) first.
+    let mut sends = Vec::new();
+    for j in 0..n {
+        if j == me {
+            continue;
+        }
+        let lo = my_old_lo.max(bounds[j]);
+        let hi = my_old_hi.min(bounds[j + 1]);
+        if lo < hi {
+            let seg: Vec<Transaction> = ctx.local[lo - my_old_lo..hi - my_old_lo].to_vec();
+            let bytes: usize = seg.iter().map(Transaction::wire_size).sum();
+            sends.push(world.isend(j, TAG_REBAL, seg, bytes));
+        }
+    }
+    // Collect my new slice: the kept overlap plus one segment per peer
+    // whose old range intersects my new range, in global order.
+    let mut pieces: Vec<(usize, Vec<Transaction>)> = Vec::new();
+    let keep_lo = my_old_lo.max(my_new_lo);
+    let keep_hi = my_old_hi.min(my_new_hi);
+    if keep_lo < keep_hi {
+        pieces.push((
+            keep_lo,
+            ctx.local[keep_lo - my_old_lo..keep_hi - my_old_lo].to_vec(),
+        ));
+    }
+    for i in 0..n {
+        if i == me {
+            continue;
+        }
+        let lo = my_new_lo.max(old_start[i]);
+        let hi = my_new_hi.min(old_start[i + 1]);
+        if lo < hi {
+            // Adaptive placement never coexists with crash plans, so the
+            // receive cannot fail.
+            let seg: Vec<Transaction> = world.recv(i, TAG_REBAL);
+            debug_assert_eq!(seg.len(), hi - lo, "transfer plans diverged");
+            pieces.push((lo, seg));
+        }
+    }
+    for sh in sends {
+        world.wait_send(sh);
+    }
+    drop(world);
+    pieces.sort_by_key(|p| p.0);
+    ctx.local = pieces.into_iter().flat_map(|(_, seg)| seg).collect();
+    debug_assert_eq!(ctx.local.len(), new_counts[me]);
+}
+
 /// Maps a backend's stats delta onto the simulator's structure-agnostic
 /// counting ledger. Field for field: the hash tree's distinct leaf visits
 /// and the trie's depth-`k` node arrivals both price as `node_visits`;
@@ -161,10 +323,13 @@ pub(crate) fn build_counter_charged(
     local_candidates: Vec<ItemSet>,
     total_candidates: usize,
 ) -> Box<dyn CandidateCounter> {
-    let m = *comm.machine();
-    comm.advance(total_candidates as f64 * m.t_gen);
+    let (t_gen, t_insert) = {
+        let m = comm.machine();
+        (m.t_gen, m.t_insert)
+    };
+    comm.advance(total_candidates as f64 * t_gen);
     let mut counter = backend.build(k, tree_params, local_candidates);
-    comm.advance(counter.stats().inserts as f64 * m.t_insert);
+    comm.advance(counter.stats().inserts as f64 * t_insert);
     counter.reset_stats();
     counter
 }
@@ -200,8 +365,11 @@ pub(crate) fn parallel_pass1(
         }
         touched += t.len();
     }
-    let m = *comm.machine();
-    comm.advance(touched as f64 * m.t_travers + ctx.local.len() as f64 * m.t_trans);
+    let (t_travers, t_trans) = {
+        let m = comm.machine();
+        (m.t_travers, m.t_trans)
+    };
+    comm.advance(touched as f64 * t_travers + ctx.local.len() as f64 * t_trans);
     comm.charge_io(ctx.local_bytes());
     ctx.world(comm).try_allreduce_sum_u64(&mut counts)?;
     Ok(counts
@@ -316,11 +484,20 @@ pub(crate) fn ring_shift_count(
 /// crashes in the plan the loop degenerates to exactly one attempt per
 /// pass with no sync and epoch pinned at 0, leaving the virtual clocks of
 /// fault-free runs bit-identical to the pre-recovery code.
+///
+/// Under [`PlacementPolicy::Adaptive`] every committed pass ends with a
+/// capacity re-scoring ([`rebalance_placement`]); `mobile_pages` enables
+/// the transaction re-slicing arm for formulations whose counting load
+/// rides the local slice. Adaptive placement is skipped when the plan
+/// can crash ranks — crash recovery owns membership and data placement,
+/// and mixing the two re-distribution mechanisms would fight.
 pub(crate) fn run_rank(
     comm: &mut Comm,
     mut ctx: RankCtx,
     parts: &[Vec<Transaction>],
     max_k: Option<usize>,
+    placement: PlacementPolicy,
+    mobile_pages: bool,
     mut count_pass: impl FnMut(
         &mut Comm,
         &RankCtx,
@@ -330,6 +507,8 @@ pub(crate) fn run_rank(
     ) -> Result<PassResult, RecvFault>,
 ) -> RankOutput {
     let recoverable = comm.fault_plan().is_some_and(FaultPlan::has_crashes);
+    let adaptive = placement == PlacementPolicy::Adaptive && !recoverable && ctx.size() > 1;
+    let mut busy_mark = 0.0f64;
     let mut holdings = crate::recovery::initial_holdings(parts);
     let mut levels: Vec<Vec<(ItemSet, u64)>> = Vec::new();
     let mut passes = Vec::new();
@@ -403,6 +582,9 @@ pub(crate) fn run_rank(
             clock_end: comm.clock(),
         });
         levels.push(result.level);
+        if adaptive {
+            rebalance_placement(comm, &mut ctx, mobile_pages, &mut busy_mark);
+        }
         k += 1;
     }
     RankOutput {

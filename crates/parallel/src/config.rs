@@ -4,6 +4,51 @@ use armine_core::apriori::MinSupport;
 use armine_core::counter::CounterBackend;
 use armine_core::hashtree::HashTreeParams;
 
+/// How the placement seam assigns work to ranks: candidate bins for the
+/// partitioned formulations, transaction-page shares for the replicated
+/// ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Fixed equal shares, decided once — the paper's standing assumption
+    /// of identical processors (the default; reproduces the golden
+    /// virtual-time fingerprints bit for bit).
+    #[default]
+    Static,
+    /// Re-score the assignment at every pass boundary from the previous
+    /// pass's per-rank measured (native) or simulated counting times,
+    /// greedily steering the heaviest units to the effectively fastest
+    /// ranks. The mined itemsets are identical either way; only the
+    /// response time changes. Ignored (falls back to static) when the
+    /// fault plan can crash ranks — recovery owns data placement then.
+    Adaptive,
+}
+
+impl PlacementPolicy {
+    /// Every policy, in CLI listing order.
+    pub const ALL: [PlacementPolicy; 2] = [PlacementPolicy::Static, PlacementPolicy::Adaptive];
+
+    /// Short name ("static" / "adaptive").
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementPolicy::Static => "static",
+            PlacementPolicy::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses a policy name as the CLI spells it (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Parameters common to every parallel formulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParallelParams {
@@ -30,6 +75,10 @@ pub struct ParallelParams {
     /// processors when it starts more than this many candidates. `None`
     /// uses plain single-level partitioning (the paper's default).
     pub split_threshold: Option<u64>,
+    /// How work units are placed on ranks — static equal shares (the
+    /// default) or adaptive pass-boundary re-balancing for heterogeneous
+    /// clusters.
+    pub placement: PlacementPolicy,
 }
 
 impl ParallelParams {
@@ -55,6 +104,7 @@ impl ParallelParams {
             memory_capacity: None,
             max_k: None,
             split_threshold: None,
+            placement: PlacementPolicy::default(),
         }
     }
 
@@ -95,6 +145,12 @@ impl ParallelParams {
         self.split_threshold = Some(t);
         self
     }
+
+    /// Selects the placement policy.
+    pub fn placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -108,18 +164,40 @@ mod tests {
             .memory_capacity(1000)
             .max_k(3)
             .split_threshold(50)
-            .counter(CounterBackend::Trie);
+            .counter(CounterBackend::Trie)
+            .placement(PlacementPolicy::Adaptive);
         assert_eq!(p.page_size, 64);
         assert_eq!(p.memory_capacity, Some(1000));
         assert_eq!(p.max_k, Some(3));
         assert_eq!(p.split_threshold, Some(50));
         assert_eq!(p.min_support, MinSupport::Fraction(0.01));
         assert_eq!(p.counter, CounterBackend::Trie);
+        assert_eq!(p.placement, PlacementPolicy::Adaptive);
         // The default backend is the paper's hash tree.
         assert_eq!(
             ParallelParams::with_min_support_count(1).counter,
             CounterBackend::HashTree
         );
+        // The default placement is the paper's static equal shares.
+        assert_eq!(
+            ParallelParams::with_min_support_count(1).placement,
+            PlacementPolicy::Static
+        );
+    }
+
+    #[test]
+    fn placement_names_round_trip() {
+        for p in PlacementPolicy::ALL {
+            assert_eq!(PlacementPolicy::parse(p.name()), Some(p));
+            assert_eq!(PlacementPolicy::parse(&p.name().to_uppercase()), Some(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(
+            PlacementPolicy::parse("Adaptive"),
+            Some(PlacementPolicy::Adaptive)
+        );
+        assert_eq!(PlacementPolicy::parse("greedy"), None);
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::Static);
     }
 
     #[test]

@@ -70,7 +70,18 @@ pub(crate) fn count_pass(
     let row_members: Vec<usize> = (0..cols).map(|c| ctx.members[my_row * cols + c]).collect();
 
     // Candidates partitioned among the G rows — identical in every column.
-    let part = make_partition(&candidates, ctx.num_items, g, params);
+    // A row's effective capacity is its *slowest* member's: the row's
+    // candidate subset is counted in parallel by one rank per column, so
+    // the slowest column finishes last. Uniform capacities collapse to
+    // all-1.0 rows and the historical equal packing.
+    let row_caps: Vec<f64> = (0..g)
+        .map(|r| {
+            (0..cols)
+                .map(|c| ctx.capacities[r * cols + c])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let part = make_partition(&candidates, ctx.num_items, &row_caps, params);
     let mine = part.parts[my_row].clone();
     let filter = part.filters[my_row].clone();
     let mut counter = build_counter_charged(comm, k, params.counter, params.tree, mine, total);

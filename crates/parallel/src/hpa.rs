@@ -49,7 +49,7 @@ pub(crate) fn count_pass(
     let p = ctx.size();
     let me = ctx.my_index;
     let total = candidates.len();
-    let machine = *comm.machine();
+    let machine = comm.machine().clone();
 
     // Every processor regenerates the full candidate set (as in IDD).
     comm.advance(total as f64 * machine.t_gen);

@@ -25,16 +25,18 @@ use armine_core::ItemSet;
 use armine_mpsim::{Comm, RecvFault};
 
 /// Builds IDD's candidate partition: bin-packed single-level by default,
-/// two-level when a split threshold is configured.
+/// two-level when a split threshold is configured. `capacities` are the
+/// placement seam's relative bin speeds (one per processor) — uniform
+/// under static placement, re-scored per pass under adaptive.
 pub(crate) fn make_partition(
     candidates: &[ItemSet],
     num_items: u32,
-    p: usize,
+    capacities: &[f64],
     params: &ParallelParams,
 ) -> CandidatePartition {
     match params.split_threshold {
-        Some(t) => partition_two_level(candidates, num_items, p, t),
-        None => partition_by_first_item(candidates, num_items, p),
+        Some(t) => partition_two_level(candidates, num_items, capacities, t),
+        None => partition_by_first_item(candidates, num_items, capacities),
     }
 }
 
@@ -62,7 +64,7 @@ pub(crate) fn count_pass_single_source(
     let p = ctx.size();
     let me = ctx.my_index;
     let total = candidates.len();
-    let part = make_partition(&candidates, ctx.num_items, p, params);
+    let part = make_partition(&candidates, ctx.num_items, &ctx.capacities, params);
     let mine = part.parts[me].clone();
     let filter = part.filters[me].clone();
     let mut counter = build_counter_charged(comm, k, params.counter, params.tree, mine, total);
@@ -138,8 +140,9 @@ pub(crate) fn count_pass(
     let p = ctx.size();
     let me = ctx.my_index;
     let total = candidates.len();
-    // Deterministic on every rank: same candidates → same packing.
-    let part = make_partition(&candidates, ctx.num_items, p, params);
+    // Deterministic on every rank: same candidates + same capacities →
+    // same packing.
+    let part = make_partition(&candidates, ctx.num_items, &ctx.capacities, params);
     let mine = part.parts[me].clone();
     let filter = part.filters[me].clone();
     let mut counter = build_counter_charged(comm, k, params.counter, params.tree, mine, total);

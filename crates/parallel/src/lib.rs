@@ -58,7 +58,7 @@ mod recovery;
 mod registry;
 mod rules;
 
-pub use config::ParallelParams;
+pub use config::{ParallelParams, PlacementPolicy};
 pub use hd::choose_grid;
 pub use metrics::{ParallelPassMetrics, ParallelRun};
 pub use miner::{Algorithm, FaultRunError, ParallelMiner};

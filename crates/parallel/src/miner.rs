@@ -9,7 +9,9 @@ use crate::{cd, dd, hd, hpa, idd, npa, pdm};
 use armine_core::apriori::FrequentItemsets;
 use armine_core::counter::CounterStats;
 use armine_core::Dataset;
-use armine_mpsim::{ExecBackend, FaultPlan, MachineProfile, SimResult, Simulator, Topology};
+use armine_mpsim::{
+    ClusterProfile, ExecBackend, FaultPlan, MachineProfile, SimResult, Simulator, Topology,
+};
 
 /// Which parallel formulation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,12 +103,12 @@ impl std::fmt::Display for FaultRunError {
 
 impl std::error::Error for FaultRunError {}
 
-/// A configured parallel mining engine: processor count + machine profile
+/// A configured parallel mining engine: processor count + cluster profile
 /// + interconnect.
 #[derive(Debug, Clone)]
 pub struct ParallelMiner {
     procs: usize,
-    machine: MachineProfile,
+    cluster: ClusterProfile,
     topology: Topology,
     backend: ExecBackend,
 }
@@ -117,7 +119,7 @@ impl ParallelMiner {
     pub fn new(procs: usize) -> Self {
         ParallelMiner {
             procs,
-            machine: MachineProfile::cray_t3e(),
+            cluster: ClusterProfile::uniform(MachineProfile::cray_t3e()),
             topology: Topology::torus_for(procs),
             backend: ExecBackend::Sim,
         }
@@ -135,9 +137,18 @@ impl ParallelMiner {
     }
 
     /// Overrides the machine profile (e.g. [`MachineProfile::ibm_sp2`] for
-    /// the Figure 12 experiment).
+    /// the Figure 12 experiment); every rank runs it at the same speed.
     pub fn machine(mut self, machine: MachineProfile) -> Self {
-        self.machine = machine;
+        self.cluster = ClusterProfile::uniform(machine);
+        self
+    }
+
+    /// Runs on a heterogeneous cluster: a base machine plus per-rank
+    /// relative speed factors (see [`ClusterProfile`]). The mined
+    /// itemsets never depend on the cluster — only the virtual (or, on
+    /// the native backend, real) time does.
+    pub fn cluster(mut self, cluster: ClusterProfile) -> Self {
+        self.cluster = cluster;
         self
     }
 
@@ -199,7 +210,7 @@ impl ParallelMiner {
         let num_items = dataset.num_items();
         let min_count = params.min_support.resolve(dataset.len());
         let mut sim = Simulator::new(self.procs)
-            .machine(self.machine)
+            .cluster(self.cluster.clone())
             .topology(self.topology)
             .backend(self.backend);
         if let Some(plan) = plan {
@@ -207,6 +218,17 @@ impl ParallelMiner {
         }
         let parts = &parts;
         let params_copy = *params;
+        // Replicated-candidate formulations count their local slice
+        // against the full candidate set, so their counting load rides
+        // the data placement — adaptive placement may move transactions
+        // between their ranks at pass boundaries. The partitioned
+        // formulations circulate every page past every rank (their load
+        // rides the candidate partition instead), and single-source IDD
+        // pins the database to rank 0 by definition.
+        let mobile_pages = matches!(
+            algorithm,
+            Algorithm::Cd | Algorithm::Npa | Algorithm::Pdm { .. }
+        );
         let result: SimResult<Option<RankOutput>> = sim.run_with_faults(move |comm| {
             let ctx = RankCtx::new(
                 parts[comm.rank()].clone(),
@@ -221,6 +243,8 @@ impl ParallelMiner {
                 ctx,
                 parts,
                 params_copy.max_k,
+                params_copy.placement,
+                mobile_pages,
                 |comm, ctx, k, candidates, prev| match algorithm {
                     Algorithm::Cd => cd::count_pass(comm, ctx, k, candidates, &params_copy),
                     Algorithm::Dd => dd::count_pass(
@@ -287,7 +311,7 @@ impl ParallelMiner {
         min_confidence: f64,
     ) -> crate::rules::ParallelRulesRun {
         let sim = Simulator::new(self.procs)
-            .machine(self.machine)
+            .cluster(self.cluster.clone())
             .topology(self.topology)
             .backend(self.backend);
         crate::rules::generate_rules_parallel(&sim, frequent, min_confidence)
@@ -743,6 +767,107 @@ mod tests {
             ParallelMiner::new(4).mine_with_faults(Algorithm::Cd, &dataset, &params, Some(&plan)),
             Err(FaultRunError::InvalidPlan(_))
         ));
+    }
+
+    #[test]
+    fn heterogeneous_cluster_preserves_itemsets_for_every_formulation() {
+        use crate::config::PlacementPolicy;
+        let dataset = quest(240, 70, 67);
+        let params = ParallelParams::with_min_support_count(8)
+            .page_size(40)
+            .max_k(4);
+        let cluster = ClusterProfile::uniform(MachineProfile::cray_t3e())
+            .speed(0, 2.0)
+            .speed(2, 0.25);
+        let all_algos = [
+            Algorithm::Cd,
+            Algorithm::Dd,
+            Algorithm::DdComm,
+            Algorithm::Idd,
+            Algorithm::Hd {
+                group_threshold: 40,
+            },
+            Algorithm::Hpa { eld_permille: 200 },
+            Algorithm::IddSingleSource,
+            Algorithm::Npa,
+            Algorithm::Pdm {
+                buckets: 1 << 10,
+                filter_passes: 1,
+            },
+        ];
+        for algo in all_algos {
+            let want: Vec<(ItemSet, u64)> = ParallelMiner::new(4)
+                .mine(algo, &dataset, &params)
+                .frequent
+                .iter()
+                .map(|(s, c)| (s.clone(), c))
+                .collect();
+            for placement in PlacementPolicy::ALL {
+                let run = ParallelMiner::new(4).cluster(cluster.clone()).mine(
+                    algo,
+                    &dataset,
+                    &params.placement(placement),
+                );
+                let got: Vec<(ItemSet, u64)> =
+                    run.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+                assert_eq!(got, want, "{} under {placement} diverged", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_placement_beats_static_on_a_skewed_cluster() {
+        use crate::config::PlacementPolicy;
+        // One rank at quarter speed. Static placement leaves it holding a
+        // full 1/P share of the counting work, gating every pass; the
+        // adaptive policy re-scores shares from measured pass times and
+        // shifts work to the fast ranks.
+        let dataset = quest(800, 120, 73);
+        let params = ParallelParams::with_min_support_count(10)
+            .page_size(50)
+            .max_k(4);
+        let cluster = ClusterProfile::uniform(MachineProfile::cray_t3e()).speed(1, 0.25);
+        for algo in [Algorithm::Cd, Algorithm::Idd] {
+            let miner = ParallelMiner::new(4).cluster(cluster.clone());
+            let stat = miner.mine(algo, &dataset, &params).response_time;
+            let adap = miner
+                .mine(algo, &dataset, &params.placement(PlacementPolicy::Adaptive))
+                .response_time;
+            assert!(
+                adap < stat,
+                "{}: adaptive {adap} must beat static {stat} with a 4x straggler",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_placement_is_a_noop_guarded_fallback_under_crash_plans() {
+        use crate::config::PlacementPolicy;
+        use armine_mpsim::{CrashPoint, FaultPlan};
+        // A crashing plan must force static behavior: identical response
+        // time with either policy, and identical itemsets.
+        let dataset = quest(240, 70, 59);
+        let params = ParallelParams::with_min_support_count(8)
+            .page_size(40)
+            .max_k(4);
+        let plan = FaultPlan::new().seed(7).crash(2, CrashPoint::AtPass(3));
+        let miner = ParallelMiner::new(4);
+        let stat = miner
+            .mine_with_faults(Algorithm::Cd, &dataset, &params, Some(&plan))
+            .unwrap();
+        let adap = miner
+            .mine_with_faults(
+                Algorithm::Cd,
+                &dataset,
+                &params.placement(PlacementPolicy::Adaptive),
+                Some(&plan),
+            )
+            .unwrap();
+        assert_eq!(stat.response_time, adap.response_time);
+        let a: Vec<(ItemSet, u64)> = stat.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+        let b: Vec<(ItemSet, u64)> = adap.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

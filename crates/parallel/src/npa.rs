@@ -46,7 +46,7 @@ pub(crate) fn count_pass(
             }
         }
         // Coordinator-side summation: (P−1)·M integer adds.
-        let m = *world.comm().machine();
+        let m = world.comm().machine().clone();
         let t_add = m.t_travers / 8.0; // one add is far cheaper than a tree descent
         world
             .comm()

@@ -40,7 +40,7 @@ pub(crate) fn count_pass(
     let candidates = if k >= 2 && k <= 1 + filter_passes {
         // Build the local bucket table for this pass's subset size over
         // the local slice.
-        let machine = *comm.machine();
+        let machine = comm.machine().clone();
         let mut filter = HashFilter::new(buckets);
         let mut hashed = 0u64;
         for t in &ctx.local {

@@ -34,7 +34,7 @@
 //! left uncommitted; the next pass deterministically re-observes it (the
 //! dead rank's tombstone is persistent) and commits it then.
 
-use crate::common::{PassResult, RankCtx};
+use crate::common::{share_bounds, PassResult, RankCtx};
 use armine_core::Transaction;
 use armine_mpsim::{Comm, RecvFault};
 use std::collections::BTreeSet;
@@ -152,10 +152,12 @@ fn exchange_round(
 }
 
 /// Commits a shrunken membership: the dead ranks' holdings are split
-/// contiguously among the survivors (identically computed everywhere),
-/// each survivor re-reads its newly adopted transactions from stable
-/// storage (an I/O charge — the database partitions outlive their rank),
-/// and the rank context is rebuilt for the next attempt.
+/// contiguously among the survivors (identically computed everywhere,
+/// through the placement seam's [`share_bounds`] — crash plans always
+/// run with uniform capacities, which that seam maps to the exact even
+/// split), each survivor re-reads its newly adopted transactions from
+/// stable storage (an I/O charge — the database partitions outlive
+/// their rank), and the rank context is rebuilt for the next attempt.
 pub(crate) fn adopt(
     comm: &mut Comm,
     ctx: &mut RankCtx,
@@ -171,14 +173,21 @@ pub(crate) fn adopt(
         .filter(|r| !dead.contains(r))
         .collect();
     debug_assert!(survivors.contains(&me), "a dead rank cannot recover");
+    let survivor_caps: Vec<f64> = ctx
+        .members
+        .iter()
+        .zip(&ctx.capacities)
+        .filter(|&(r, _)| !dead.contains(r))
+        .map(|(_, &c)| c)
+        .collect();
     let kept = holdings[me].len();
     for &d in dead {
         debug_assert!(ctx.members.contains(&d), "committed dead ranks are members");
         let freed = std::mem::take(&mut holdings[d]);
         let total: usize = freed.iter().map(|&(_, lo, hi)| hi - lo).sum();
+        let bounds = share_bounds(total, &survivor_caps);
         for (i, &sv) in survivors.iter().enumerate() {
-            let a = i * total / survivors.len();
-            let b = (i + 1) * total / survivors.len();
+            let (a, b) = (bounds[i], bounds[i + 1]);
             if b > a {
                 holdings[sv].extend(slice_ranges(&freed, a, b));
             }
@@ -201,6 +210,7 @@ pub(crate) fn adopt(
         .flat_map(|&(p, lo, hi)| parts[p][lo..hi].iter().cloned())
         .collect();
     ctx.members = survivors;
+    ctx.capacities = survivor_caps;
     ctx.my_index = ctx
         .members
         .iter()

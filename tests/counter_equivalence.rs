@@ -110,7 +110,7 @@ proptest! {
     ) {
         let cands = to_itemsets(&raw_cands);
         let txs = to_transactions(&raw_txs);
-        let part = partition_by_first_item(&cands, 16, procs);
+        let part = partition_by_first_item(&cands, 16, &vec![1.0; procs]);
         let mut serial = CounterBackend::HashTree.build(2, HashTreeParams::default(), cands.clone());
         serial.count_all(&txs, &OwnershipFilter::all());
         let mut want_union = serial.frequent(min_count);

@@ -1,7 +1,9 @@
 //! Property-based tests (proptest) over the core invariants.
 
 use armine::core::apriori::{apriori_gen, Apriori, AprioriParams};
-use armine::core::binpack::{pack_lpt, partition_by_first_item, partition_round_robin};
+use armine::core::binpack::{
+    pack_lpt, pack_lpt_weighted, partition_by_first_item, partition_round_robin,
+};
 use armine::core::hashtree::{HashTree, HashTreeParams, OwnershipFilter};
 use armine::core::model::expected_distinct_leaves;
 use armine::core::tidlist::TidListIndex;
@@ -120,7 +122,7 @@ proptest! {
         let cands = to_itemsets(&raw_cands);
         for part in [
             partition_round_robin(&cands, procs),
-            partition_by_first_item(&cands, 20, procs),
+            partition_by_first_item(&cands, 20, &vec![1.0; procs]),
         ] {
             let mut all: Vec<ItemSet> = part.parts.iter().flatten().cloned().collect();
             all.sort();
@@ -195,6 +197,76 @@ proptest! {
         }
     }
 
+    /// Capacity-weighted packing is an exact cover for any positive
+    /// capacities, and uniform capacities reproduce plain LPT bit for bit
+    /// (the homogeneous-goldens guarantee).
+    #[test]
+    fn weighted_packing_covers_and_degenerates_to_lpt(
+        weights in prop::collection::vec(0u64..1000, 1..50),
+        caps in prop::collection::vec(1u32..16, 1..10),
+        uniform_cap in 1u32..16,
+    ) {
+        let caps: Vec<f64> = caps.iter().map(|&c| f64::from(c)).collect();
+        let p = pack_lpt_weighted(&weights, &caps);
+        prop_assert_eq!(p.loads.iter().sum::<u64>(), weights.iter().sum::<u64>());
+        prop_assert_eq!(p.assignment.len(), weights.len());
+        let bins = caps.len();
+        let u = pack_lpt_weighted(&weights, &vec![f64::from(uniform_cap); bins]);
+        let plain = pack_lpt(&weights, bins);
+        prop_assert_eq!(u.assignment, plain.assignment);
+        prop_assert_eq!(u.loads, plain.loads);
+    }
+
+    /// A heterogeneous cluster never changes the mined lattice — under
+    /// either placement policy, every formulation returns bit-identical
+    /// itemsets to the homogeneous run. Speeds and placement move work
+    /// and time, never answers.
+    #[test]
+    fn heterogeneity_and_placement_preserve_the_lattice(
+        raw_txs in prop::collection::vec(arb_transaction(14, 8), 4..30),
+        alg_idx in 0usize..9,
+        adaptive in 0u32..2,
+        slow_rank in 0usize..4,
+        speed_num in 1u32..9,
+    ) {
+        use armine::mpsim::{ClusterProfile, MachineProfile};
+        use armine::parallel::{Algorithm, ParallelMiner, ParallelParams, PlacementPolicy};
+        let algorithm = [
+            Algorithm::Cd,
+            Algorithm::Npa,
+            Algorithm::Dd,
+            Algorithm::DdComm,
+            Algorithm::Idd,
+            Algorithm::IddSingleSource,
+            Algorithm::Hd { group_threshold: 8 },
+            Algorithm::Hpa { eld_permille: 250 },
+            Algorithm::Pdm { buckets: 64, filter_passes: 1 },
+        ][alg_idx];
+        let placement = if adaptive == 1 {
+            PlacementPolicy::Adaptive
+        } else {
+            PlacementPolicy::Static
+        };
+        let txs = to_transactions(&raw_txs);
+        let dataset = armine::core::Dataset::with_num_items(txs, 14);
+        let params = ParallelParams::with_min_support_count(2)
+            .page_size(4)
+            .max_k(3)
+            .placement(placement);
+        let procs = 4;
+        let cluster = ClusterProfile::uniform(MachineProfile::cray_t3e())
+            .speed(slow_rank, f64::from(speed_num) / 4.0);
+        let hetero = ParallelMiner::new(procs)
+            .cluster(cluster)
+            .mine(algorithm, &dataset, &params);
+        let homo = ParallelMiner::new(procs).mine(algorithm, &dataset, &params);
+        let a: Vec<(ItemSet, u64)> =
+            hetero.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+        let b: Vec<(ItemSet, u64)> =
+            homo.frequent.iter().map(|(s, c)| (s.clone(), c)).collect();
+        prop_assert_eq!(a, b, "{} diverged under {}", algorithm.name(), placement);
+    }
+
     /// The IDD root filter never changes counted results — only work.
     #[test]
     fn bitmap_filter_preserves_owned_counts(
@@ -204,7 +276,7 @@ proptest! {
     ) {
         let cands = to_itemsets(&raw_cands);
         let txs = to_transactions(&raw_txs);
-        let part = partition_by_first_item(&cands, 16, procs);
+        let part = partition_by_first_item(&cands, 16, &vec![1.0; procs]);
         for (mine, filter) in part.parts.iter().zip(&part.filters) {
             let mut tree = HashTree::build(2, HashTreeParams::default(), mine.clone());
             tree.count_all(&txs, filter);
